@@ -1,0 +1,94 @@
+// Command dcfbench regenerates the tables and figures of the paper's
+// evaluation (§6). Run all experiments or one by id:
+//
+//	dcfbench                  # everything, full sweeps
+//	dcfbench -exp fig11       # one experiment
+//	dcfbench -quick           # reduced sweeps (CI scale)
+//	dcfbench -exp fig13 -out fig13_timeline.txt
+//
+// Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|all)")
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	out := flag.String("out", "", "also write figure artifacts (fig13 timeline / chrome trace) to this path prefix")
+	flag.Parse()
+
+	run := func(id string) error {
+		switch id {
+		case "fig11":
+			_, err := bench.Fig11(bench.DefaultFig11(*quick), os.Stdout)
+			return err
+		case "fig12":
+			_, err := bench.Fig12(bench.DefaultFig12(*quick), os.Stdout)
+			return err
+		case "table1":
+			_, err := bench.Table1(bench.DefaultTable1(*quick), os.Stdout)
+			return err
+		case "fig13":
+			cfg := bench.DefaultTable1(*quick)
+			seq := 400
+			if *quick {
+				seq = 80
+			}
+			res, err := bench.Fig13(cfg, seq, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if *out != "" {
+				if err := os.WriteFile(*out+".txt", []byte(res.Timeline), 0o644); err != nil {
+					return err
+				}
+				if err := os.WriteFile(*out+".json", res.ChromeJSON, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s.txt and %s.json\n", *out, *out)
+			}
+			return nil
+		case "fig14":
+			_, err := bench.Fig14(bench.DefaultFig14(*quick), os.Stdout)
+			return err
+		case "fig15":
+			_, err := bench.Fig15(bench.DefaultFig15(*quick), os.Stdout)
+			return err
+		case "dqn":
+			_, err := bench.DQN(bench.DefaultDQN(*quick), os.Stdout)
+			return err
+		case "ablations":
+			for _, n := range []int{16, 256} {
+				if _, err := bench.AblationDeadness(n, 50, os.Stdout); err != nil {
+					return err
+				}
+			}
+			if _, err := bench.AblationTagOverhead(256, 50, os.Stdout); err != nil {
+				return err
+			}
+			_, _, err := bench.AblationStackSwap(40, 64, os.Stdout)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations"}
+	}
+	for _, id := range ids {
+		fmt.Printf("==== %s ====\n", id)
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,158 @@
+package dcf
+
+import (
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// Feeds supplies placeholder values by name for one Run.
+type Feeds = map[string]*Value
+
+// DeviceConfig describes one simulated accelerator attached to a session.
+type DeviceConfig struct {
+	// Name is the device name used in Graph.WithDevice scopes.
+	Name string
+	// MemoryBytes caps the device memory (0 = unlimited).
+	MemoryBytes int64
+	// CopyBandwidth is the simulated host↔device bandwidth, bytes/second
+	// (0 = instantaneous transfers).
+	CopyBandwidth float64
+	// KernelLaunchOverhead adds fixed per-kernel latency.
+	KernelLaunchOverhead time.Duration
+	// KernelCost, if set, charges a simulated per-op execution time on
+	// the device's compute stream (see internal/device.Config).
+	KernelCost func(op string) time.Duration
+}
+
+// SessionOptions configures session execution.
+type SessionOptions struct {
+	// Devices lists simulated accelerators; ops on other device names
+	// (including "") run on the unconstrained CPU.
+	Devices []DeviceConfig
+	// ParallelIterations overrides the default loop window (0 = 32).
+	ParallelIterations int
+	// Trace enables per-stream kernel timeline recording on the
+	// simulated devices.
+	Trace bool
+	// RunOverhead models the client↔runtime boundary cost each
+	// Session.Run pays in the paper's deployment (a Python client
+	// driving the runtime over an RPC session). In-process Go calls make
+	// that boundary nearly free, so experiments comparing in-graph
+	// against client-driven control flow (§6.5) charge it explicitly —
+	// to every Run, in both styles.
+	RunOverhead time.Duration
+}
+
+// Session executes a graph. Close it when done if devices were configured.
+type Session struct {
+	g           *Graph
+	s           *core.Session
+	cluster     *device.Cluster
+	tracer      *trace.Tracer
+	runOverhead time.Duration
+}
+
+// NewSession creates a session with default options.
+func NewSession(g *Graph) *Session { return NewSessionOpts(g, SessionOptions{}) }
+
+// NewSessionOpts creates a session with explicit options.
+func NewSessionOpts(g *Graph, opts SessionOptions) *Session {
+	s := core.NewSession(g.b)
+	s.ParallelIterations = opts.ParallelIterations
+	sess := &Session{g: g, s: s, runOverhead: opts.RunOverhead}
+	if len(opts.Devices) > 0 {
+		if opts.Trace {
+			sess.tracer = trace.New()
+		}
+		cfgs := make([]device.Config, len(opts.Devices))
+		for i, d := range opts.Devices {
+			cfgs[i] = device.Config{
+				Name:                 d.Name,
+				MemoryBytes:          d.MemoryBytes,
+				CopyBandwidth:        d.CopyBandwidth,
+				KernelLaunchOverhead: d.KernelLaunchOverhead,
+				KernelCost:           d.KernelCost,
+				Tracer:               sess.tracer,
+			}
+		}
+		sess.cluster = device.NewCluster(cfgs...)
+		s.Mem = sess.cluster.Mem
+		s.Runner = sess.cluster.Runner
+	}
+	return sess
+}
+
+// Close releases device resources.
+func (s *Session) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
+
+// Tracer returns the kernel timeline recorder (nil unless Trace was set).
+func (s *Session) Tracer() *trace.Tracer { return s.tracer }
+
+// DevicePeak reports the high-water memory mark of a simulated device
+// (0 for unknown devices).
+func (s *Session) DevicePeak(name string) int64 {
+	if s.cluster == nil {
+		return 0
+	}
+	if d := s.cluster.Device(name); d != nil {
+		return d.PeakBytes()
+	}
+	return 0
+}
+
+// InitVariables runs all variable initializers declared on the graph.
+func (s *Session) InitVariables() error { return s.s.InitVariables() }
+
+// SaveVariables checkpoints all session variables to path (the paper's §3
+// coarse-grained checkpointing: programs run to completion between
+// checkpoints).
+func (s *Session) SaveVariables(path string) error {
+	return checkpoint.SaveFile(path, s.s.SessRes)
+}
+
+// RestoreVariables loads a checkpoint written by SaveVariables.
+func (s *Session) RestoreVariables(path string) error {
+	return checkpoint.RestoreFile(path, s.s.SessRes)
+}
+
+// Run executes the subgraph needed for the fetches and targets, returning
+// fetched values in order.
+func (s *Session) Run(feeds Feeds, fetches []Tensor, targets ...Op) ([]*Value, error) {
+	if s.runOverhead > 0 {
+		time.Sleep(s.runOverhead)
+	}
+	nodes := make([]*graph.Node, 0, len(targets))
+	for _, t := range targets {
+		if t.n != nil {
+			nodes = append(nodes, t.n)
+		}
+	}
+	return s.s.Run(feeds, unwrap(fetches), nodes)
+}
+
+// Run1 fetches a single tensor.
+func (s *Session) Run1(feeds Feeds, fetch Tensor) (*Value, error) {
+	out, err := s.Run(feeds, []Tensor{fetch})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// RunTargets executes target ops without fetching values.
+func (s *Session) RunTargets(feeds Feeds, targets ...Op) error {
+	_, err := s.Run(feeds, nil, targets...)
+	return err
+}
+
+// Stats reports the last run's executor activity.
+func (s *Session) Stats() core.RunStats { return s.s.LastStats }

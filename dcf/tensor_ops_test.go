@@ -1,0 +1,166 @@
+package dcf_test
+
+import (
+	"testing"
+
+	"repro/dcf"
+)
+
+// evalT builds a one-op expression and evaluates it.
+func evalT(t *testing.T, build func(g *dcf.Graph) dcf.Tensor) *dcf.Value {
+	t.Helper()
+	g := dcf.NewGraph()
+	out := build(g)
+	if g.Err() != nil {
+		t.Fatal(g.Err())
+	}
+	v, err := dcf.NewSession(g).Run1(nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestFluentMathOps(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{4, 9}, 2))
+		b := g.Const(dcf.FromFloats([]float64{2, 3}, 2))
+		return a.Div(b).Pow(b).Mod(g.Scalar(5)) // (2,3)->(4,27)->(4,2)
+	})
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{4, 2}, 2)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFluentComparisonAndLogic(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, 2, 3}, 3))
+		b := g.Const(dcf.FromFloats([]float64{2, 2, 2}, 3))
+		ge := a.GreaterEqual(b)
+		ne := a.NotEqual(b)
+		return ge.And(ne).Or(a.LessEqual(g.Scalar(1))).Not().Cast(dcf.Float)
+	})
+	// ge: F,T,T; ne: T,F,T; and: F,F,T; le1: T,F,F; or: T,F,T; not: F,T,F
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{0, 1, 0}, 3)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFluentArrayOps(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, 2, 3, 4, 5, 6}, 3, 2))
+		ix := g.Const(dcf.FromInts([]int64{2, 0}, 2))
+		return a.Gather(ix).Reshape(4).ExpandDims(0).Squeeze()
+	})
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{5, 6, 1, 2}, 4)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFluentSelectMaximumMinimum(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, -5, 3}, 3))
+		clipped := a.Maximum(g.Scalar(-1)).Minimum(g.Scalar(2))
+		pos := a.Greater(g.Scalar(0))
+		return pos.Select(clipped, clipped.Neg())
+	})
+	// clipped: 1,-1,2; pos: T,F,T; select: 1, 1, 2
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{1, 1, 2}, 3)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestConcatPackUnpackAddN(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, 2}, 2))
+		b := g.Const(dcf.FromFloats([]float64{3, 4}, 2))
+		packed := dcf.Pack(a, b) // [2,2]
+		parts := dcf.Unpack(packed, 2)
+		summed := dcf.AddN(parts[0], parts[1]) // [4,6]
+		return dcf.Concat(0, summed, a)        // [4,6,1,2]
+	})
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{4, 6, 1, 2}, 4)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestShapeIntrospectionOps(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.Zeros(3, 5))
+		return a.Shape().Cast(dcf.Float).ReduceSum().Add(a.SizeT().Cast(dcf.Float))
+	})
+	if v.ScalarValue() != 3+5+15 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestReduceVariants(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, 5, 3, 2}, 2, 2))
+		mx := a.ReduceMax([]int{1}, false)    // [5,3]
+		mean := a.ReduceMean([]int{0}, false) // [2,3.5]
+		return dcf.Concat(0, mx, mean)
+	})
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{5, 3, 2, 3.5}, 4)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestArgMaxOneHotTile(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, 9, 3}, 1, 3))
+		return a.ArgMax(1).OneHot(3).Tile(2)
+	})
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{0, 1, 0, 0, 1, 0}, 2, 3)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestSliceColsAndRows(t *testing.T) {
+	v := evalT(t, func(g *dcf.Graph) dcf.Tensor {
+		a := g.Const(dcf.FromFloats([]float64{1, 2, 3, 4, 5, 6}, 2, 3))
+		return a.SliceCols(1, 2).SliceRows(g.Int(1), 1)
+	})
+	if !dcf.ValuesEqual(v, dcf.FromFloats([]float64{5, 6}, 1, 2)) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestStopGradientBlocksFlow(t *testing.T) {
+	g := dcf.NewGraph()
+	x := g.Placeholder("x")
+	y := x.Square().StopGradient().Add(x).ReduceSum()
+	grads := g.MustGradients(y, x)
+	v, err := dcf.NewSession(g).Run1(dcf.Feeds{"x": dcf.ScalarVal(3)}, grads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d/dx (stopgrad(x^2) + x) = 1, not 2x+1.
+	if v.ScalarValue() != 1 {
+		t.Fatalf("got %v, want 1", v)
+	}
+}
+
+func TestRandomOps(t *testing.T) {
+	g := dcf.NewGraph()
+	u := g.RandomUniformOp(100)
+	n := g.RandomNormalOp(100)
+	s := dcf.NewSession(g)
+	out, err := s.Run(nil, []dcf.Tensor{u, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out[0].F {
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+	var mean float64
+	for _, v := range out[1].F {
+		mean += v
+	}
+	mean /= 100
+	if mean > 0.8 || mean < -0.8 {
+		t.Fatalf("normal mean suspicious: %v", mean)
+	}
+}

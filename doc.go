@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Dynamic Control Flow
+// in Large-Scale Machine Learning" (Yu et al., EuroSys 2018): a dataflow
+// machine-learning runtime with in-graph conditionals and loops, automatic
+// differentiation through control flow, multi-device execution with memory
+// swapping, and a distributed runtime.
+//
+// The public API is package repro/dcf; DESIGN.md maps the paper's systems
+// and experiments to modules, and bench_test.go regenerates every table and
+// figure of the paper's evaluation.
+package repro

@@ -1,0 +1,136 @@
+// Sequence-to-sequence example, the paper's motivating §2.2 workload: an
+// encoder RNN consumes a variable-length input sequence; a decoder RNN then
+// *generates* until it emits the end-of-sequence token — a loop whose trip
+// count depends on data computed inside the loop, which is exactly what
+// in-graph dynamic control flow exists for. (Static unrolling cannot
+// express "decode until EOS".)
+//
+// The toy task is sequence reversal over a small vocabulary; greedy
+// decoding drives the termination condition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dcf"
+	"repro/internal/nn"
+)
+
+const (
+	vocab  = 8 // token 0 = EOS
+	embDim = 12
+	units  = 24
+	maxLen = 12
+)
+
+func main() {
+	g := dcf.NewGraph()
+	emb := nn.NewEmbedding(g, "emb", vocab, embDim, 3)
+	enc := nn.NewLSTMCell(g, "enc", embDim, units, 5)
+	dec := nn.NewLSTMCell(g, "dec", embDim, units, 7)
+	out := nn.NewDense(g, "proj", units, vocab, nil, 9)
+
+	vars := &nn.VarSet{}
+	for _, v := range []*nn.VarSet{&emb.Vars, &enc.Vars, &dec.Vars, &out.Vars} {
+		vars.Merge(v)
+	}
+
+	// ---- Encoder: variable-length input [T] of token ids. ----
+	src := g.Placeholder("src")
+	srcEmb := emb.Lookup(src).ExpandDims(1) // [T, 1, embDim] (batch 1)
+	h0 := g.Const(dcf.Zeros(1, units))
+	c0 := g.Const(dcf.Zeros(1, units))
+	encRes := nn.DynamicRNN(g, enc, srcEmb, h0, c0, dcf.WhileOpts{Name: "encoder"})
+
+	// ---- Greedy decoder: loop until EOS or maxLen. The predicate
+	// depends on the previous iteration's *generated token* — a
+	// data-dependent trip count (§2.2). ----
+	eos := g.Int(0)
+	outTA := g.TensorArray(g.Int(maxLen))
+	decOuts := g.While(
+		[]dcf.Tensor{
+			g.Int(0),                      // step
+			eos,                           // previous token (start = EOS as <go>)
+			encRes.FinalH,                 // decoder h
+			encRes.FinalC,                 // decoder c
+			outTA.Flow(),                  // output array flow
+			g.Const(dcf.ScalarBool(true)), // continue flag
+		},
+		func(v []dcf.Tensor) dcf.Tensor {
+			return v[0].Less(g.Int(maxLen)).And(v[5])
+		},
+		func(v []dcf.Tensor) []dcf.Tensor {
+			step, prev, h, c, flow := v[0], v[1], v[2], v[3], v[4]
+			x := emb.Lookup(prev.Reshape(1))
+			nh, nc := dec.Step(x, h, c)
+			logits := out.Apply(nh) // [1, vocab]
+			tok := logits.ArgMax(1) // [1]
+			w := outTA.WithFlow(flow).Write(step, tok)
+			keepGoing := tok.Reshape().NotEqual(eos)
+			return []dcf.Tensor{
+				step.Add(g.Int(1)), tok.Reshape(), nh, nc, w.Flow(), keepGoing,
+			}
+		},
+		dcf.WhileOpts{Name: "decoder"},
+	)
+	decodedLen := decOuts[0]
+
+	// ---- Training objective: teacher-forced reversal with EOS. The
+	// decoder input at step t is the previous target token (<go>=EOS at
+	// t=0); the label at step t is the target token, ending in EOS so
+	// the model learns when to stop. ----
+	decIn := g.Placeholder("dec_in")    // [T+1] shifted target ids
+	labelIDs := g.Placeholder("labels") // [T+1] target ids ending in EOS
+	decEmb := emb.Lookup(decIn).ExpandDims(1)
+	decRes := nn.DynamicRNN(g, dec, decEmb, encRes.FinalH, encRes.FinalC, dcf.WhileOpts{Name: "teacher"})
+	logits := decRes.Outputs.Reshape(-1, units).MatMul(out.W).Add(out.B)
+	labels := labelIDs.OneHot(vocab)
+	loss := nn.SoftmaxCrossEntropy(logits, labels)
+	step, err := nn.SGDStep(g, loss, vars, 0.5, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	sess := dcf.NewSession(g)
+	if err := sess.InitVariables(); err != nil {
+		log.Fatal(err)
+	}
+
+	srcSeq := dcf.FromInts([]int64{3, 1, 4, 1, 5}, 5)
+	// Reversed target with <go> prefix and EOS suffix.
+	decInSeq := dcf.FromInts([]int64{0, 5, 1, 4, 1, 3}, 6)
+	labelSeq := dcf.FromInts([]int64{5, 1, 4, 1, 3, 0}, 6)
+	feeds := dcf.Feeds{"src": srcSeq, "dec_in": decInSeq, "labels": labelSeq}
+
+	first, err := sess.Run1(feeds, loss)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if err := sess.RunTargets(feeds, step); err != nil {
+			log.Fatal(err)
+		}
+	}
+	last, err := sess.Run1(feeds, loss)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("teacher-forced loss: %.4f -> %.4f over 150 steps\n",
+		first.ScalarValue(), last.ScalarValue())
+
+	// Greedy decode: the loop stops on EOS or maxLen — the number of
+	// iterations is decided by the model's own outputs, inside the graph.
+	n, err := sess.Run1(dcf.Feeds{"src": srcSeq}, decodedLen.Cast(dcf.Float))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greedy decoder ran %v steps (data-dependent trip count; max %d)\n",
+		n.ScalarValue(), maxLen)
+	if int(n.ScalarValue()) < maxLen {
+		fmt.Println("the loop terminated because the model emitted EOS — a decision made inside the graph")
+	}
+}

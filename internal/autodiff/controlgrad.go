@@ -1,0 +1,247 @@
+package autodiff
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// gradCond differentiates one conditional construct (§5.1): the gradient of
+// cond(p, t, f) is cond(p, grad_t, grad_f). Incoming output gradients are
+// routed into the branches with a Switch on the same predicate (the dual of
+// the forward Merge); each branch subgraph is differentiated; the per-
+// captured-value gradients from the branches meet in a Merge (the dual of
+// the forward guard Switch), with a zeros term synthesized inside a branch
+// that does not use the value.
+func (e *engine) gradCond(tc *core.CondContext, r valueResolver) {
+	fc := tc.Peer
+	anyGrad := false
+	mergeGrads := make([]graph.Output, len(tc.ResultMerges))
+	for i, m := range tc.ResultMerges {
+		mergeGrads[i] = e.takeGrad(m.Out(0))
+		if mergeGrads[i].Node != nil {
+			anyGrad = true
+		}
+	}
+	if !anyGrad {
+		return
+	}
+	predR, err := r.resolve(e, tc.Pred)
+	if err != nil {
+		e.fail("autodiff: cond pred: %v", err)
+		return
+	}
+	for i, g := range mergeGrads {
+		if g.Node == nil {
+			continue
+		}
+		gsw := e.b.OpNode("Switch", "grad_cond_switch", nil, g, predR)
+		if gsw == nil {
+			return
+		}
+		e.addGrad(tc.BranchOuts[i], gsw.Out(1))
+		e.addGrad(fc.BranchOuts[i], gsw.Out(0))
+	}
+	e.diffBlock(tc, r, e.topo)
+	e.diffBlock(fc, r, e.topo)
+	if e.err != nil {
+		return
+	}
+	// Boundary: gradients with respect to each captured external value.
+	// Gradients attach to the value the guard Switch consumed (for a
+	// cond nested in a loop that is the loop-constant Enter, whose
+	// gradient the enclosing loop's accumulator collects).
+	handled := map[graph.Output]bool{}
+	for _, x := range append(tc.CaptureOrder(), fc.CaptureOrder()...) {
+		if handled[x] {
+			continue
+		}
+		handled[x] = true
+		var gT, gF graph.Output
+		var ext graph.Output
+		if sw, ok := tc.Captures[x]; ok {
+			gT = e.takeGrad(sw.Out(1))
+			ext = sw.Input(0)
+		}
+		if sw, ok := fc.Captures[x]; ok {
+			gF = e.takeGrad(sw.Out(0))
+			ext = sw.Input(0)
+		}
+		if gT.Node == nil && gF.Node == nil {
+			continue
+		}
+		xr, err := r.resolve(e, ext)
+		if err != nil {
+			e.fail("autodiff: cond capture %s: %v", x, err)
+			return
+		}
+		if gT.Node == nil || gF.Node == nil {
+			zsw := e.b.OpNode("Switch", "grad_cond_zero_switch", nil, xr, predR)
+			if zsw == nil {
+				return
+			}
+			if gT.Node == nil {
+				gT = e.b.ZerosLike(zsw.Out(1))
+			}
+			if gF.Node == nil {
+				gF = e.b.ZerosLike(zsw.Out(0))
+			}
+		}
+		total := e.b.OpNode("Merge", "grad_cond_merge", nil, gT, gF)
+		if total == nil {
+			return
+		}
+		e.addGrad(ext, total.Out(0))
+	}
+}
+
+// gradWhile differentiates one while loop (§5.1): build the forward trip
+// counter, then a gradient loop that runs the body's gradient N times in
+// reverse, with stack-saved intermediates (via the resolver), per-loop-
+// variable gradient carriers, eagerly accumulated loop-invariant gradients,
+// and a sync token ordering the stack pops.
+func (e *engine) gradWhile(wc *core.WhileContext, outerR valueResolver) {
+	b := e.b
+	nVars := len(wc.Exits) // snapshot before augmentation
+	exitGrads := make([]graph.Output, nVars)
+	anyGrad := false
+	for i := 0; i < nVars; i++ {
+		exitGrads[i] = e.takeGrad(wc.Exits[i].Out(0))
+		if exitGrads[i].Node != nil {
+			anyGrad = true
+		}
+	}
+	if !anyGrad {
+		return
+	}
+	// Forward trip count, resolved into the current gradient scope (for
+	// nested loops this saves the per-outer-iteration count on a stack).
+	nOut := e.forwardCount(wc)
+	nR, err := outerR.resolve(e, nOut)
+	if err != nil {
+		e.fail("autodiff: loop count: %v", err)
+		return
+	}
+	// Loop invariants that lie on the differentiation path get eager
+	// gradient accumulators.
+	var consts []graph.Output
+	for _, x := range wc.ConstOrder() {
+		ent := wc.ConstEnters[x]
+		if e.between[ent.Node.ID()] {
+			consts = append(consts, x)
+		}
+	}
+	inits := []graph.Output{nR}
+	for i := 0; i < nVars; i++ {
+		g := exitGrads[i]
+		if g.Node == nil {
+			ev, err := outerR.resolve(e, wc.Exits[i].Out(0))
+			if err != nil {
+				e.fail("autodiff: %v", err)
+				return
+			}
+			g = b.ZerosLike(ev)
+		}
+		inits = append(inits, g)
+	}
+	for _, x := range consts {
+		xr, err := outerR.resolve(e, x)
+		if err != nil {
+			e.fail("autodiff: %v", err)
+			return
+		}
+		inits = append(inits, b.ZerosLike(xr))
+	}
+	// Pop sync token. For a gradient loop nested inside an enclosing
+	// gradient loop, the token chains into the enclosing loop's token so
+	// that this loop's pops (outer-grad iteration k) strictly precede
+	// iteration k+1's — preserving stack LIFO order across nesting.
+	syncInit := b.ScalarInt(0)
+	if outer, nested := outerR.(*whileGradResolver); nested {
+		syncInit = outer.curToken
+	}
+	inits = append(inits, syncInit)
+
+	gr := newWhileGradResolver(wc, outerR)
+	outs, gwc := b.WhileCtx(inits,
+		func(vars []graph.Output) graph.Output {
+			return b.Greater(vars[0], b.ScalarInt(0))
+		},
+		func(vars []graph.Output) []graph.Output {
+			gr.curToken = vars[len(vars)-1]
+			for i := 0; i < nVars; i++ {
+				e.addGrad(wc.BodyOuts[i], vars[1+i])
+			}
+			e.diffBlock(wc, gr, e.topo)
+			if e.err != nil {
+				// Return structurally valid outputs; the sticky
+				// error aborts the build.
+				return vars
+			}
+			next := []graph.Output{b.Sub(vars[0], b.ScalarInt(1))}
+			for i := 0; i < nVars; i++ {
+				g := e.takeGrad(wc.Switches[i].Out(1))
+				if g.Node == nil {
+					g = b.ZerosLike(vars[1+i])
+				}
+				next = append(next, g)
+			}
+			for j, x := range consts {
+				cur := vars[1+nVars+j]
+				g := e.takeGrad(wc.ConstEnters[x])
+				if g.Node == nil {
+					next = append(next, cur)
+				} else {
+					next = append(next, b.Add(cur, g))
+				}
+			}
+			next = append(next, gr.combinedToken(e))
+			return next
+		},
+		core.WhileOpts{Name: "grad_" + wc.FrameName, ParallelIterations: wc.Parallel},
+	)
+	if e.err != nil || b.Err() != nil {
+		return
+	}
+	// The gradient loop must not start until the forward pushes are done
+	// (and the control edges keep the push chains alive under pruning).
+	// Witnesses live in the root frame (push tokens are threaded out of
+	// enclosing forward loops); when this gradient loop is itself nested
+	// inside an enclosing gradient loop, the control edge would cross
+	// frames, so the witnesses are deferred to the enclosing loop, whose
+	// own entry gate covers everything nested inside it.
+	if outer, nested := outerR.(*whileGradResolver); nested {
+		e.pushWitness[outer.wc] = append(e.pushWitness[outer.wc], e.pushWitness[wc]...)
+		outer.popTokens = append(outer.popTokens, outs[len(outs)-1])
+	} else {
+		for _, w := range e.pushWitness[wc] {
+			for _, ent := range gwc.Enters {
+				ent.AddControlInput(w.Node)
+			}
+		}
+	}
+	for i := 0; i < nVars; i++ {
+		e.addGrad(wc.Inits[i], outs[1+i])
+	}
+	for j, x := range consts {
+		// Attach to the value the constant Enter consumed: for nested
+		// loops that is the enclosing loop's own Enter output, whose
+		// gradient the enclosing accumulator collects in turn.
+		e.addGrad(wc.ConstEnters[x].Node.Input(0), outs[1+nVars+j])
+	}
+}
+
+// forwardCount augments the forward loop with an iteration counter (once)
+// and returns its exit: the trip count N.
+func (e *engine) forwardCount(wc *core.WhileContext) graph.Output {
+	if c, ok := e.counters[wc]; ok {
+		return c
+	}
+	b := e.b
+	var zero graph.Output
+	b.InCtx(wc.Outer, func() { zero = b.ScalarInt(0) })
+	_, exit := b.AddLoopVar(wc, zero, func(cur graph.Output) graph.Output {
+		return b.Add(cur, b.ScalarInt(1))
+	})
+	e.counters[wc] = exit
+	return exit
+}

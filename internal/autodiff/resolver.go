@@ -1,0 +1,410 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// valueResolver maps a forward value to the value the gradient code should
+// consume. At the root the forward value itself is in scope. Inside a
+// gradient loop, values produced by the forward loop must be saved on
+// stacks during the forward pass and popped during backprop (Figure 9).
+type valueResolver interface {
+	resolve(e *engine, v graph.Output) (graph.Output, error)
+}
+
+// rootResolver: the gradient runs in the same (root) execution scope as the
+// forward computation, so forward values are directly usable. Values inside
+// conditional branches are consumed only by gradient ops that are live
+// exactly when the branch was taken, so no routing is needed.
+type rootResolver struct{}
+
+func (rootResolver) resolve(e *engine, v graph.Output) (graph.Output, error) { return v, nil }
+
+// whileGradResolver resolves values for the gradient loop of one forward
+// while loop.
+//
+// Values produced inside the forward loop are pushed (once per producing
+// iteration) onto a dedicated stack by augmenting the forward loop with a
+// push whose ordering token is threaded through the loop as an extra loop
+// variable; the gradient loop pops them in reverse. Pops are ordered across
+// gradient iterations by a single shared sync token (a loop variable of the
+// gradient loop): every pop consumes the iteration's token and the next
+// token combines all pop tokens, so iteration k+1 cannot pop before
+// iteration k has popped everything — preserving LIFO order under parallel
+// iterations.
+//
+// A value produced on a conditional branch nested in the loop is pushed and
+// popped under a guard on the same predicate (the predicate itself is a
+// per-iteration value, saved on its own stack), per §5.1: "we push the
+// guard values at all forward iterations onto a stack, and pop those values
+// to control the conditionals in the gradient loop".
+type whileGradResolver struct {
+	wc    *core.WhileContext
+	outer valueResolver
+
+	// enterSource maps a constant Enter's output back to its source.
+	enterSource map[graph.Output]graph.Output
+
+	// pops caches popped values per forward value within the gradient
+	// loop body being built.
+	pops map[graph.Output]graph.Output
+	// popTokens collects pop token outputs for the sync combine.
+	popTokens []graph.Output
+	// curToken is the gradient loop's sync token variable (body side).
+	curToken graph.Output
+}
+
+func newWhileGradResolver(wc *core.WhileContext, outer valueResolver) *whileGradResolver {
+	r := &whileGradResolver{
+		wc:          wc,
+		outer:       outer,
+		enterSource: map[graph.Output]graph.Output{},
+		pops:        map[graph.Output]graph.Output{},
+	}
+	for src, ent := range wc.ConstEnters {
+		r.enterSource[ent] = src
+	}
+	return r
+}
+
+// effectiveValueCtx returns the context a *value* (not node) lives in,
+// accounting for machinery nodes: a guard Switch's outputs live in the
+// branch contexts, an Exit's output lives outside its loop.
+func effectiveValueCtx(v graph.Output) core.Context {
+	n := v.Node
+	ct := core.ConstructOf(n)
+	if ct == nil {
+		return core.CtxOf(v)
+	}
+	switch cc := ct.(type) {
+	case *core.CondContext:
+		if n.Op() == "Switch" {
+			t := cc
+			if t.Branch != 1 {
+				t = t.Peer
+			}
+			if v.Index == 1 {
+				return t
+			}
+			return t.Peer
+		}
+		return core.CtxOf(v) // result Merges, pivots: the outer context
+	case *core.WhileContext:
+		if n.Op() == "Exit" {
+			return cc.Outer
+		}
+		return cc
+	}
+	return core.CtxOf(v)
+}
+
+// insideLoop reports whether v's value lives inside the forward loop.
+func (r *whileGradResolver) insideLoop(v graph.Output) bool {
+	c := effectiveValueCtx(v)
+	for c != nil {
+		if c == core.Context(r.wc) {
+			return true
+		}
+		c = c.OuterCtx()
+	}
+	return false
+}
+
+// branchChain lists the cond contexts between v's value context and the
+// loop, innermost first. It errs if a non-cond context intervenes.
+func (r *whileGradResolver) branchChain(e *engine, v graph.Output) []*core.CondContext {
+	var conds []*core.CondContext
+	c := effectiveValueCtx(v)
+	for c != nil && c != core.Context(r.wc) {
+		cc, ok := c.(*core.CondContext)
+		if !ok {
+			e.fail("autodiff: intermediate %s nests inside %s inside the loop; saving across an inner loop boundary is handled by that loop's own gradient", v, ctxDesc(c))
+			return nil
+		}
+		conds = append(conds, cc)
+		c = c.OuterCtx()
+	}
+	return conds
+}
+
+func (r *whileGradResolver) resolve(e *engine, v graph.Output) (graph.Output, error) {
+	if src, ok := r.enterSource[v]; ok {
+		// Loop constant: resolve its outer source; the builder captures
+		// it into the gradient loop automatically on use.
+		return r.outer.resolve(e, src)
+	}
+	if !r.insideLoop(v) {
+		return r.outer.resolve(e, v)
+	}
+	if p, ok := r.pops[v]; ok {
+		return p, nil
+	}
+	conds := r.branchChain(e, v)
+	if e.err != nil {
+		return graph.Output{}, e.err
+	}
+	handle, err := e.stackFor(r.wc, v, conds)
+	if err != nil {
+		return graph.Output{}, err
+	}
+	// Pop, guarded by the resolved predicates of the same cond chain so
+	// the pop runs exactly as often as the push did.
+	val, tokOut, err := r.guardedPop(e, handle, conds)
+	if err != nil {
+		return graph.Output{}, err
+	}
+	r.pops[v] = val
+	r.popTokens = append(r.popTokens, tokOut)
+	return val, nil
+}
+
+// guardedPop emits StackPop wrapped in manual Switch/Merge guards on the
+// resolved predicates (outermost first), so that the pop fires only in
+// gradient iterations whose forward iteration produced a push. It returns
+// the popped value (dead when unguarded that iteration) and the live-always
+// continuation token.
+func (r *whileGradResolver) guardedPop(e *engine, handle graph.Output, conds []*core.CondContext) (val, tok graph.Output, err error) {
+	b := e.b
+	var emit func(level int, token graph.Output) (graph.Output, graph.Output)
+	emit = func(level int, token graph.Output) (graph.Output, graph.Output) {
+		if level < 0 {
+			pop := b.OpNode("StackPop", "", nil, handle, token)
+			if pop == nil {
+				return graph.Output{}, token
+			}
+			return pop.Out(0), pop.Out(1)
+		}
+		cc := conds[level]
+		predR, rerr := r.resolve(e, cc.Pred)
+		if rerr != nil {
+			err = rerr
+			return graph.Output{}, token
+		}
+		sw := b.OpNode("Switch", "", nil, token, predR)
+		if sw == nil {
+			return graph.Output{}, token
+		}
+		takenIdx := cc.Branch
+		inVal, inTok := emit(level-1, sw.Out(takenIdx))
+		m := b.OpNode("Merge", "", nil, inTok, sw.Out(1-takenIdx))
+		if m == nil {
+			return graph.Output{}, token
+		}
+		return inVal, m.Out(0)
+	}
+	val, tok = emit(len(conds)-1, r.curToken)
+	if err == nil && e.b.Err() != nil {
+		err = e.b.Err()
+	}
+	return val, tok, err
+}
+
+// combinedToken returns the next iteration's sync token: the sum of all pop
+// continuation tokens (or the unchanged token when nothing was popped).
+func (r *whileGradResolver) combinedToken(e *engine) graph.Output {
+	if len(r.popTokens) == 0 {
+		return r.curToken
+	}
+	if len(r.popTokens) == 1 {
+		return r.popTokens[0]
+	}
+	return e.b.Op("AddN", nil, r.popTokens...)
+}
+
+// stackFor returns (creating on first use) the stack that saves forward
+// value v of loop wc, augmenting the forward loop with the (possibly
+// cond-guarded) push chain and threading the push-token exit outward so
+// the gradient loop can depend on "all pushes done".
+func (e *engine) stackFor(wc *core.WhileContext, v graph.Output, conds []*core.CondContext) (graph.Output, error) {
+	key := stackKey{wc: wc, v: v}
+	if h, ok := e.stacks[key]; ok {
+		return h, nil
+	}
+	// The Stack node lives in the root context: the resource is keyed by
+	// node name in the per-step container (one stack per step), and the
+	// handle value is routed into loop frames via constant Enters, so
+	// nested gradient loops can reference it.
+	stackNode, err := e.b.G.AddNode(graph.NodeArgs{
+		Op:         "Stack",
+		Name:       "grad_stack",
+		Attrs:      map[string]any{"swap": e.opts.SwapMemory},
+		NumOutputs: 1,
+		Device:     v.Node.Device(),
+	})
+	if err != nil {
+		return graph.Output{}, err
+	}
+	handle := stackNode.Out(0)
+	e.stacks[key] = handle
+
+	// Push chain: an extra forward loop variable threads the ordering
+	// token through a (guarded) push each iteration.
+	b := e.b
+	var zero graph.Output
+	b.InCtx(wc.Outer, func() { zero = b.ScalarInt(0) })
+	_, exit := b.AddLoopVar(wc, zero, func(cur graph.Output) graph.Output {
+		return e.guardedPush(wc, handle, v, cur, conds)
+	})
+	if b.Err() != nil {
+		return graph.Output{}, b.Err()
+	}
+	// Thread the push-token exit through any enclosing forward loops so
+	// a single root-frame (or cond-branch) value witnesses all pushes.
+	exit = e.threadTokenOut(wc, exit)
+	e.pushWitness[wc] = append(e.pushWitness[wc], exit)
+	return handle, b.Err()
+}
+
+// guardedPush emits StackPush(handle, v, token) under manual Switch/Merge
+// guards mirroring v's conditional nesting (outermost first); the token
+// continues live whether or not the push ran.
+func (e *engine) guardedPush(wc *core.WhileContext, handle, v, token graph.Output, conds []*core.CondContext) graph.Output {
+	b := e.b
+	// Route the root-context handle into the loop frame once.
+	hIn, err := wc.AddValue(b, handle)
+	if err != nil {
+		e.fail("autodiff: %v", err)
+		return token
+	}
+	var emit func(level int, tok graph.Output) graph.Output
+	emit = func(level int, tok graph.Output) graph.Output {
+		if level < 0 {
+			push, err := b.G.AddNode(graph.NodeArgs{
+				Op:         "StackPush",
+				Attrs:      map[string]any{"swap": e.opts.SwapMemory},
+				Inputs:     []graph.Output{hIn, v, tok},
+				NumOutputs: 2,
+				Ctx:        wc,
+				Device:     v.Node.Device(),
+			})
+			if err != nil {
+				e.fail("autodiff: %v", err)
+				return tok
+			}
+			return push.Out(1)
+		}
+		cc := conds[level]
+		sw, err := b.G.AddNode(graph.NodeArgs{
+			Op:         "Switch",
+			Inputs:     []graph.Output{tok, cc.Pred},
+			NumOutputs: 2,
+			Ctx:        wc,
+		})
+		if err != nil {
+			e.fail("autodiff: %v", err)
+			return tok
+		}
+		inTok := emit(level-1, sw.Out(cc.Branch))
+		m, err := b.G.AddNode(graph.NodeArgs{
+			Op:         "Merge",
+			Inputs:     []graph.Output{inTok, sw.Out(1 - cc.Branch)},
+			NumOutputs: 1,
+			Ctx:        wc,
+		})
+		if err != nil {
+			e.fail("autodiff: %v", err)
+			return tok
+		}
+		return m.Out(0)
+	}
+	// The push must consume v without capture routing: the guards above
+	// reproduce its conditional liveness structurally.
+	return emit(len(conds)-1, token)
+}
+
+// threadTokenOut threads a push-token exit through every enclosing forward
+// while loop (as an extra accumulating loop variable) so that the final
+// value lives in the outermost non-loop context and witnesses every push
+// across all enclosing iterations.
+func (e *engine) threadTokenOut(wc *core.WhileContext, exit graph.Output) graph.Output {
+	ctx := wc.Outer
+	for ctx != nil {
+		w, ok := ctx.(*core.WhileContext)
+		if !ok {
+			// A cond context: the exit lives on a branch; control
+			// edges across branches stay in the same frame and
+			// deadness aligns with the gradient's own liveness.
+			ctx = ctx.OuterCtx()
+			continue
+		}
+		// Collect the cond chain between the exit's context and w.
+		var conds []*core.CondContext
+		c := effectiveValueCtx(exit)
+		bad := false
+		for c != nil && c != core.Context(w) {
+			if cc, ok := c.(*core.CondContext); ok {
+				conds = append(conds, cc)
+			} else {
+				bad = true
+				break
+			}
+			c = c.OuterCtx()
+		}
+		if bad {
+			e.fail("autodiff: cannot thread push token out of %s", ctxDesc(core.CtxOf(exit)))
+			return exit
+		}
+		b := e.b
+		var zero graph.Output
+		b.InCtx(w.Outer, func() { zero = b.ScalarInt(0) })
+		captured := exit
+		_, exit = b.AddLoopVar(w, zero, func(cur graph.Output) graph.Output {
+			var emit func(level int, tok graph.Output) graph.Output
+			emit = func(level int, tok graph.Output) graph.Output {
+				if level < 0 {
+					n, err := b.G.AddNode(graph.NodeArgs{
+						Op:         "Add",
+						Inputs:     []graph.Output{tok, captured},
+						NumOutputs: 1,
+						Ctx:        w,
+					})
+					if err != nil {
+						e.fail("autodiff: %v", err)
+						return tok
+					}
+					return n.Out(0)
+				}
+				cc := conds[level]
+				sw, err := b.G.AddNode(graph.NodeArgs{
+					Op:         "Switch",
+					Inputs:     []graph.Output{tok, cc.Pred},
+					NumOutputs: 2,
+					Ctx:        w,
+				})
+				if err != nil {
+					e.fail("autodiff: %v", err)
+					return tok
+				}
+				inTok := emit(level-1, sw.Out(cc.Branch))
+				m, err := b.G.AddNode(graph.NodeArgs{
+					Op:         "Merge",
+					Inputs:     []graph.Output{inTok, sw.Out(1 - cc.Branch)},
+					NumOutputs: 1,
+					Ctx:        w,
+				})
+				if err != nil {
+					e.fail("autodiff: %v", err)
+					return tok
+				}
+				return m.Out(0)
+			}
+			return emit(len(conds)-1, cur)
+		})
+		ctx = w.Outer
+	}
+	return exit
+}
+
+func ctxDesc(c core.Context) string {
+	switch t := c.(type) {
+	case *core.WhileContext:
+		return "while " + t.FrameName
+	case *core.CondContext:
+		return fmt.Sprintf("cond branch %d", t.Branch)
+	default:
+		return "unknown context"
+	}
+}

@@ -1,0 +1,92 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// TensorArray gradients (§5.2). The operations are duals of each other: the
+// gradient of a read is a write to the gradient TensorArray, and vice
+// versa; stack/unstack likewise. Multiple reads of one location produce
+// multiple writes to the gradient array, which accumulates them.
+//
+// Ordering flows through the scalar flow values: the gradient of an op's
+// flow output threads to the gradient of its flow input, so the gradient
+// array's writes complete before the reads that consume them — the exact
+// mirror of the forward flow threading.
+
+// gradTA builds (or reuses, via the resource layer's per-source caching)
+// the gradient TensorArray for the forward handle, returning (handle, flow).
+func gradTA(gc *GradCtx, handle, flow graph.Output) (graph.Output, graph.Output) {
+	b := gc.B()
+	n := b.OpNode("TensorArrayGrad", "", map[string]any{"source": gc.sourceLabel()}, handle, flow)
+	if n == nil {
+		return graph.Output{}, graph.Output{}
+	}
+	return n.Out(0), n.Out(1)
+}
+
+// sourceLabel identifies the gradient array for this engine invocation: one
+// Gradients call shares one gradient array per forward array, so the
+// read-grad writes and write-grad reads meet in the same resource.
+func (gc *GradCtx) sourceLabel() string { return fmt.Sprintf("grad%d", gc.e.generation) }
+
+func init() {
+	// TensorArray(size) -> (handle, flow): nothing upstream to propagate
+	// to (size is integral).
+	RegisterNoGrad("TensorArray", "TensorArraySize", "TensorArrayGrad")
+
+	// Write(handle, index, value, flow) -> flow.
+	// grad(value) = gradTA.read(index), ordered after the incoming flow
+	// gradient (which contains the grad writes from downstream reads).
+	RegisterGrad("TensorArrayWrite", func(gc *GradCtx, og []graph.Output) []graph.Output {
+		b := gc.B()
+		gFlow := og[0]
+		if gFlow.Node == nil {
+			return zeroOuts(4)
+		}
+		gh, _ := gradTA(gc, gc.In(0), gc.In(3))
+		val := b.Op("TensorArrayRead", nil, gh, gc.In(1), gFlow)
+		return []graph.Output{{}, {}, val, gFlow}
+	})
+
+	// Read(handle, index, flow) -> value.
+	// grad(flow) = gradTA.write(index, g).flow, so earlier ops' gradients
+	// are ordered after this write.
+	RegisterGrad("TensorArrayRead", func(gc *GradCtx, og []graph.Output) []graph.Output {
+		b := gc.B()
+		g := og[0]
+		if g.Node == nil {
+			return zeroOuts(3)
+		}
+		gh, gf := gradTA(gc, gc.In(0), gc.In(2))
+		wflow := b.Op("TensorArrayWrite", nil, gh, gc.In(1), g, gf)
+		return []graph.Output{{}, {}, wflow}
+	})
+
+	// Stack(handle, flow) -> value. grad = unstack g into the grad array.
+	RegisterGrad("TensorArrayStack", func(gc *GradCtx, og []graph.Output) []graph.Output {
+		b := gc.B()
+		g := og[0]
+		if g.Node == nil {
+			return zeroOuts(2)
+		}
+		gh, gf := gradTA(gc, gc.In(0), gc.In(1))
+		uflow := b.Op("TensorArrayUnstack", nil, gh, g, gf)
+		return []graph.Output{{}, uflow}
+	})
+
+	// Unstack(handle, value, flow) -> flow. grad(value) = stack of the
+	// grad array, ordered after the incoming flow gradient.
+	RegisterGrad("TensorArrayUnstack", func(gc *GradCtx, og []graph.Output) []graph.Output {
+		b := gc.B()
+		gFlow := og[0]
+		if gFlow.Node == nil {
+			return zeroOuts(3)
+		}
+		gh, _ := gradTA(gc, gc.In(0), gc.In(2))
+		val := b.Op("TensorArrayStack", nil, gh, gFlow)
+		return []graph.Output{{}, val, gFlow}
+	})
+}

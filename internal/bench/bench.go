@@ -1,0 +1,36 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment has a driver returning the same
+// rows/series the paper reports; DESIGN.md maps experiment ids to paper
+// artifacts and EXPERIMENTS.md records paper-reported versus measured
+// values. Absolute numbers differ (the substrate is a simulator on a CPU,
+// not a GPU cluster); the comparisons preserve the paper's shapes: who
+// wins, by what rough factor, and where the crossovers and failure
+// boundaries fall.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Quick scales experiments down for CI-speed runs (used by bench_test.go);
+// the CLI (cmd/dcfbench) runs the full sweeps.
+type Scale struct {
+	// Quick selects reduced parameter sweeps.
+	Quick bool
+}
+
+// timeIt returns the duration of fn.
+func timeIt(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// fprintf writes to w if non-nil (drivers can run silently).
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment driver at quick scale, validating that
+// each reproduces the paper's qualitative shape, not just that it runs.
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(DefaultFig11(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	for _, r := range rows {
+		if r.NoBarrierIPS <= 0 || r.BarrierIPS <= 0 {
+			t.Fatalf("non-positive rate: %+v", r)
+		}
+		// The barrier adds two network hops through the driver per
+		// iteration: it must not be faster than no-barrier.
+		if r.Machines > 1 && r.BarrierIPS > r.NoBarrierIPS*1.15 {
+			t.Fatalf("barrier faster than no-barrier at %d machines: %+v", r.Machines, r)
+		}
+	}
+	// More machines => more per-iteration coordination => lower rate.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.NoBarrierIPS > first.NoBarrierIPS {
+		t.Fatalf("iteration rate should fall with machine count: %v -> %v",
+			first.NoBarrierIPS, last.NoBarrierIPS)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12(DefaultFig12(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel iterations must beat serial substantially on a pipelined
+	// 8-GPU body (the paper reports ~5x; we require >1.5x at quick scale).
+	serial := rows[0].IPS
+	best := serial
+	for _, r := range rows {
+		if r.IPS > best {
+			best = r.IPS
+		}
+	}
+	if best < serial*1.5 {
+		t.Fatalf("pipelining speedup too small: serial %.1f best %.1f", serial, best)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	cfg := DefaultTable1(true)
+	rows, err := Table1(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOOM := false
+	for _, r := range rows {
+		if r.EnabledOOM {
+			t.Fatalf("swap-enabled must not OOM: %+v", r)
+		}
+		if r.SeqLen > cfg.CalibrateLen && r.DisabledOOM {
+			sawOOM = true
+		}
+		if r.SeqLen <= cfg.CalibrateLen && r.DisabledOOM {
+			t.Fatalf("disabled OOM below the calibration point: %+v", r)
+		}
+	}
+	if !sawOOM {
+		t.Fatal("expected the swap-disabled column to OOM past the calibration length")
+	}
+}
+
+func TestFig13ProducesOverlap(t *testing.T) {
+	cfg := DefaultTable1(true)
+	res, err := Fig13(cfg, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeBusy == 0 || res.D2HBusy == 0 {
+		t.Fatalf("missing stream activity: %+v", res)
+	}
+	if res.OverlapD2H == 0 {
+		t.Fatal("no compute/copy overlap recorded")
+	}
+	if !strings.Contains(res.Timeline, "#") {
+		t.Fatal("empty timeline rendering")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows, err := Fig14(DefaultFig14(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.StaticSec <= 0 || r.DynamicSec <= 0 {
+			t.Fatalf("bad timing: %+v", r)
+		}
+		// Dynamic control flow should be within ~2x of static unrolling
+		// (paper: 3-8%; our per-op dispatch is heavier, but the gap must
+		// stay moderate).
+		if r.SlowdownPct > 100 {
+			t.Fatalf("dynamic slowdown too large: %+v", r)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	rows, err := Fig15(DefaultFig15(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multi-GPU point must beat 1 GPU.
+	base, multi := rows[0], rows[len(rows)-1]
+	if multi.Speedup < 1.2 {
+		t.Fatalf("no model-parallel speedup: base %.2f/s, %d GPUs %.2f/s",
+			base.StepsSec, multi.GPUs, multi.StepsSec)
+	}
+}
+
+func TestDQNComparison(t *testing.T) {
+	res, err := DQN(DefaultDQN(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InGraphIPS <= 0 || res.OutOfGraphIPS <= 0 {
+		t.Fatalf("bad rates: %+v", res)
+	}
+	// In-graph fuses five client round-trips into one; it must win.
+	if res.InGraphIPS <= res.OutOfGraphIPS {
+		t.Fatalf("in-graph DQN not faster: %+v", res)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if _, err := AblationDeadness(64, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationTagOverhead(128, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	off, on, err := AblationStackSwap(20, 48, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on > off*3 {
+		t.Fatalf("swap overhead too large: off %.4f on %.4f", off, on)
+	}
+}
+
+func TestDriversWriteTables(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Fig11(Fig11Config{Machines: []int{1}, Iterations: 10, MatrixDim: 4}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Fatalf("missing header: %s", buf.String())
+	}
+}

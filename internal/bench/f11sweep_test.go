@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestFig11LatencySweepDebug(t *testing.T) {
+	if os.Getenv("F11_SWEEP") == "" {
+		t.Skip("debug sweep")
+	}
+	for _, lat := range []time.Duration{0, 200 * time.Microsecond, 1 * time.Millisecond} {
+		cfg := DefaultFig11(false)
+		cfg.Latency = lat
+		cfg.Iterations = 300
+		t.Logf("--- latency %v ---", lat)
+		rows, err := Fig11(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			t.Logf("m=%2d nb=%8.0f bar=%8.0f", r.Machines, r.NoBarrierIPS, r.BarrierIPS)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package checkpoint implements the coarse-grained checkpointing the
+// paper's failure model relies on (§3): iterative programs run to
+// completion between checkpoints of the session's variables, with no
+// fine-grained fault tolerance inside a step. Variables are serialized with
+// encoding/gob.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// snapshot is the serialized form of one variable.
+type snapshot struct {
+	Name  string
+	DType int
+	Shape []int
+	F     []float64
+	I     []int64
+	B     []bool
+	S     []string
+}
+
+// file is the serialized checkpoint.
+type file struct {
+	Version int
+	Vars    []snapshot
+}
+
+// Save writes all variables in the session container to w.
+func Save(w io.Writer, sess *ops.Resources) error {
+	var vars []snapshot
+	for _, name := range sess.Names() {
+		if !strings.HasPrefix(name, "var/") {
+			continue
+		}
+		res, _ := sess.Lookup(name)
+		v, ok := res.(*ops.VariableRes)
+		if !ok {
+			continue
+		}
+		val, err := v.Value()
+		if err != nil {
+			return fmt.Errorf("checkpoint: variable %s: %w", name, err)
+		}
+		vars = append(vars, snapshot{
+			Name:  strings.TrimPrefix(name, "var/"),
+			DType: int(val.DType()),
+			Shape: val.Shape(),
+			F:     val.F,
+			I:     val.I,
+			B:     val.B,
+			S:     val.S,
+		})
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	return gob.NewEncoder(w).Encode(file{Version: 1, Vars: vars})
+}
+
+// Restore reads a checkpoint and assigns every variable into the session
+// container (creating missing variables).
+func Restore(r io.Reader, sess *ops.Resources) error {
+	var f file
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if f.Version != 1 {
+		return fmt.Errorf("checkpoint: unsupported version %d", f.Version)
+	}
+	for _, s := range f.Vars {
+		var val *tensor.Tensor
+		switch tensor.DType(s.DType) {
+		case tensor.Float:
+			val = tensor.FromFloats(s.F, s.Shape...)
+		case tensor.Int:
+			val = tensor.FromInts(s.I, s.Shape...)
+		case tensor.Bool:
+			val = tensor.FromBools(s.B, s.Shape...)
+		case tensor.Str:
+			val = tensor.FromStrings(s.S, s.Shape...)
+		default:
+			return fmt.Errorf("checkpoint: variable %s: unknown dtype %d", s.Name, s.DType)
+		}
+		res := sess.LookupOrCreate("var/"+s.Name, func() ops.Resource {
+			return ops.NewVariable(s.Name)
+		})
+		v, ok := res.(*ops.VariableRes)
+		if !ok {
+			return fmt.Errorf("checkpoint: resource %s is not a variable", s.Name)
+		}
+		v.Set(val)
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path (atomically via a temp file).
+func SaveFile(path string, sess *ops.Resources) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, sess); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreFile reads a checkpoint from path.
+func RestoreFile(path string, sess *ops.Resources) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Restore(f, sess)
+}

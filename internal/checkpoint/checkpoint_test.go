@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func setVar(t *testing.T, sess *ops.Resources, name string, v *tensor.Tensor) {
+	t.Helper()
+	res := sess.LookupOrCreate("var/"+name, func() ops.Resource { return ops.NewVariable(name) })
+	res.(*ops.VariableRes).Set(v)
+}
+
+func getVar(t *testing.T, sess *ops.Resources, name string) *tensor.Tensor {
+	t.Helper()
+	res, ok := sess.Lookup("var/" + name)
+	if !ok {
+		t.Fatalf("variable %s missing", name)
+	}
+	v, err := res.(*ops.VariableRes).Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSaveRestoreRoundtrip(t *testing.T) {
+	src := ops.NewResources()
+	setVar(t, src, "w", tensor.FromFloats([]float64{1, 2, 3, 4}, 2, 2))
+	setVar(t, src, "step", tensor.ScalarInt(42))
+	setVar(t, src, "mask", tensor.FromBools([]bool{true, false}, 2))
+
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := ops.NewResources()
+	if err := Restore(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(getVar(t, dst, "w"), tensor.FromFloats([]float64{1, 2, 3, 4}, 2, 2)) {
+		t.Fatal("w mismatch")
+	}
+	if getVar(t, dst, "step").ScalarIntValue() != 42 {
+		t.Fatal("step mismatch")
+	}
+	if getVar(t, dst, "mask").B[1] {
+		t.Fatal("mask mismatch")
+	}
+}
+
+func TestRestoreOverwritesExisting(t *testing.T) {
+	src := ops.NewResources()
+	setVar(t, src, "w", tensor.Scalar(1))
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := ops.NewResources()
+	setVar(t, dst, "w", tensor.Scalar(999))
+	if err := Restore(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if getVar(t, dst, "w").ScalarValue() != 1 {
+		t.Fatal("restore did not overwrite")
+	}
+}
+
+func TestSaveFileRestoreFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	src := ops.NewResources()
+	setVar(t, src, "w", tensor.FromFloats([]float64{7}, 1))
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := ops.NewResources()
+	if err := RestoreFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if getVar(t, dst, "w").F[0] != 7 {
+		t.Fatal("file roundtrip")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	dst := ops.NewResources()
+	if err := Restore(bytes.NewBufferString("not a checkpoint"), dst); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSaveSkipsUninitialized(t *testing.T) {
+	src := ops.NewResources()
+	src.LookupOrCreate("var/empty", func() ops.Resource { return ops.NewVariable("empty") })
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err == nil {
+		t.Fatal("expected error for uninitialized variable")
+	}
+}

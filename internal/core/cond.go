@@ -1,0 +1,112 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// Cond builds a conditional (§4.2): the true or false function's subgraph
+// executes depending on pred, and the per-output Merges forward whichever
+// branch ran. External values touched by a branch are guarded by one Switch
+// each, maximizing parallelism (the guards fire independently as their
+// inputs become available).
+func (b *Builder) Cond(pred graph.Output, trueFn, falseFn func() []graph.Output) []graph.Output {
+	outs, _, _ := b.CondCtx(pred, trueFn, falseFn)
+	return outs
+}
+
+// CondCtx is Cond, additionally returning the two branch contexts (true,
+// false) for autodiff and tests.
+func (b *Builder) CondCtx(pred graph.Output, trueFn, falseFn func() []graph.Output) ([]graph.Output, *CondContext, *CondContext) {
+	if b.err != nil {
+		return nil, nil, nil
+	}
+	outer := b.ctx
+	p, err := b.capture(outer, pred)
+	if err != nil {
+		b.fail("core: Cond pred: %v", err)
+		return nil, nil, nil
+	}
+	// Pivot switch: Switch(pred, pred); each branch pivot identities one
+	// side so ops without data inputs run only on the taken branch.
+	psw, err := b.rawOp("Switch", "cond/pred_switch", outer, nil, p, p)
+	if err != nil {
+		b.fail("core: %v", err)
+		return nil, nil, nil
+	}
+	mkBranch := func(branch int) (*CondContext, error) {
+		piv, err := b.rawOp("Identity", "cond/pivot", outer, nil, psw.Out(branch))
+		if err != nil {
+			return nil, err
+		}
+		return &CondContext{
+			Outer:     outer,
+			Pred:      p,
+			Branch:    branch,
+			PivotNode: piv,
+			Captures:  map[graph.Output]*graph.Node{},
+		}, nil
+	}
+	tc, err := mkBranch(1)
+	if err != nil {
+		b.fail("core: %v", err)
+		return nil, nil, nil
+	}
+	fc, err := mkBranch(0)
+	if err != nil {
+		b.fail("core: %v", err)
+		return nil, nil, nil
+	}
+	tc.Peer, fc.Peer = fc, tc
+
+	runBranch := func(c *CondContext, fn func() []graph.Output) []graph.Output {
+		b.pushCtx(c)
+		defer b.popCtx()
+		raw := fn()
+		if b.err != nil {
+			return nil
+		}
+		outs := make([]graph.Output, len(raw))
+		for i, o := range raw {
+			// A branch may return an external value unchanged; route
+			// it through the guard so the Merge sees a live token
+			// only when this branch runs.
+			oc, err := b.capture(c, o)
+			if err != nil {
+				b.fail("core: Cond branch output %d: %v", i, err)
+				return nil
+			}
+			outs[i] = oc
+		}
+		return outs
+	}
+	TagConstruct(psw, tc)
+	TagConstruct(tc.PivotNode, tc)
+	TagConstruct(fc.PivotNode, tc)
+	tOuts := runBranch(tc, trueFn)
+	if b.err != nil {
+		return nil, nil, nil
+	}
+	fOuts := runBranch(fc, falseFn)
+	if b.err != nil {
+		return nil, nil, nil
+	}
+	if len(tOuts) != len(fOuts) {
+		b.fail("core: Cond branches returned %d vs %d outputs", len(tOuts), len(fOuts))
+		return nil, nil, nil
+	}
+	tc.BranchOuts, fc.BranchOuts = tOuts, fOuts
+
+	outs := make([]graph.Output, len(tOuts))
+	for i := range tOuts {
+		m, err := b.rawOp("Merge", "cond/merge", outer, nil, tOuts[i], fOuts[i])
+		if err != nil {
+			b.fail("core: %v", err)
+			return nil, nil, nil
+		}
+		TagConstruct(m, tc)
+		tc.ResultMerges = append(tc.ResultMerges, m)
+		fc.ResultMerges = append(fc.ResultMerges, m)
+		outs[i] = m.Out(0)
+	}
+	return outs, tc, fc
+}

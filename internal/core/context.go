@@ -1,0 +1,232 @@
+// Package core implements the paper's primary contribution: the compilation
+// of high-level control-flow constructs (cond, while_loop, and the
+// higher-order functions defined in terms of them) into dataflow graphs
+// built from the five primitives Switch, Merge, Enter, Exit, and
+// NextIteration (§4.1–4.2), together with the control-flow contexts that
+// automatic differentiation (internal/autodiff) consumes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Context is a control-flow construction context. Every node records the
+// innermost context it was built in; nil means the root context.
+type Context interface {
+	// OuterCtx returns the enclosing context (nil for outermost).
+	OuterCtx() Context
+	// AddValue makes an external value (from an outer context) available
+	// inside this context, inserting guard Switches (cond) or constant
+	// Enters (while) as §4.2 prescribes, and returns the routed value.
+	AddValue(b *Builder, v graph.Output) (graph.Output, error)
+	// Pivot returns the context's control pivot: the node that no-input
+	// ops take a control dependency on, so they execute only when (and
+	// each time) the context executes.
+	Pivot() *graph.Node
+}
+
+// CondContext is one branch of a conditional. A cond produces two of these
+// (Branch 1 = true, 0 = false).
+type CondContext struct {
+	Outer  Context
+	Pred   graph.Output // pred value in the outer context
+	Branch int          // which Switch output this branch consumes
+	// PivotNode is an Identity on the branch side of Switch(pred, pred).
+	PivotNode *graph.Node
+	// Captures maps an outer value to its guard Switch node; the branch
+	// uses output Branch of that Switch.
+	Captures map[graph.Output]*graph.Node
+	// captureOrder preserves insertion order for deterministic graphs.
+	captureOrder []graph.Output
+	// Results, set when the cond is finished: the output Merges and this
+	// branch's raw outputs.
+	ResultMerges []*graph.Node
+	BranchOuts   []graph.Output
+	// Peer is the context of the other branch.
+	Peer *CondContext
+}
+
+// OuterCtx implements Context.
+func (c *CondContext) OuterCtx() Context { return c.Outer }
+
+// Pivot implements Context.
+func (c *CondContext) Pivot() *graph.Node { return c.PivotNode }
+
+// AddValue guards an external value with a Switch on the branch predicate.
+func (c *CondContext) AddValue(b *Builder, v graph.Output) (graph.Output, error) {
+	if sw, ok := c.Captures[v]; ok {
+		return sw.Out(c.Branch), nil
+	}
+	ext, err := b.capture(c.Outer, v)
+	if err != nil {
+		return graph.Output{}, err
+	}
+	sw, err := b.rawOp("Switch", "", c.Outer, nil, ext, c.Pred)
+	if err != nil {
+		return graph.Output{}, err
+	}
+	TagConstruct(sw, Canonical(c))
+	c.Captures[v] = sw
+	c.captureOrder = append(c.captureOrder, v)
+	return sw.Out(c.Branch), nil
+}
+
+// CaptureOrder returns captured outer values in insertion order.
+func (c *CondContext) CaptureOrder() []graph.Output {
+	return append([]graph.Output(nil), c.captureOrder...)
+}
+
+// WhileContext describes one while-loop (§4.2, Figure 4). The autodiff pass
+// reads this structure to build the gradient loop.
+type WhileContext struct {
+	Outer     Context
+	FrameName string
+	Parallel  int
+
+	// Per-loop-variable machinery, index-aligned with the inits:
+	Enters    []*graph.Node
+	Merges    []*graph.Node
+	Switches  []*graph.Node
+	NextIters []*graph.Node
+	Exits     []*graph.Node
+	Inits     []graph.Output // in the outer context
+	BodyOuts  []graph.Output // in this context
+
+	// LoopCondNode marks the termination predicate.
+	LoopCondNode *graph.Node
+
+	// ConstEnters caches loop-invariant captures: outer value -> Enter
+	// output inside the frame.
+	ConstEnters map[graph.Output]graph.Output
+	constOrder  []graph.Output
+
+	// phase distinguishes pred/body construction for pivots.
+	phase        int // 0 = pred, 1 = body
+	predPivot    *graph.Node
+	bodyPivotN   *graph.Node
+	BodyPivotOut graph.Output
+}
+
+// OuterCtx implements Context.
+func (w *WhileContext) OuterCtx() Context { return w.Outer }
+
+// Pivot implements Context.
+func (w *WhileContext) Pivot() *graph.Node {
+	if w.phase == 0 {
+		return w.predPivot
+	}
+	return w.bodyPivotN
+}
+
+// AddValue routes an external value into the frame as a loop constant.
+func (w *WhileContext) AddValue(b *Builder, v graph.Output) (graph.Output, error) {
+	if e, ok := w.ConstEnters[v]; ok {
+		return e, nil
+	}
+	ext, err := b.capture(w.Outer, v)
+	if err != nil {
+		return graph.Output{}, err
+	}
+	enter, err := b.rawOp("Enter", "", w, map[string]any{
+		"frame_name":          w.FrameName,
+		"is_constant":         true,
+		"parallel_iterations": w.Parallel,
+	}, ext)
+	if err != nil {
+		return graph.Output{}, err
+	}
+	TagConstruct(enter, w)
+	w.ConstEnters[v] = enter.Out(0)
+	w.constOrder = append(w.constOrder, v)
+	return enter.Out(0), nil
+}
+
+// ConstOrder returns captured loop constants in insertion order.
+func (w *WhileContext) ConstOrder() []graph.Output {
+	return append([]graph.Output(nil), w.constOrder...)
+}
+
+// ConstructAttr tags control-flow machinery nodes (Switch/Merge/Enter/Exit/
+// NextIteration/LoopCond and cond guards) with the construct they implement,
+// so autodiff can treat each construct as a single unit.
+const ConstructAttr = "_construct"
+
+// TagConstruct marks a machinery node as belonging to a construct.
+func TagConstruct(n *graph.Node, c Context) {
+	if n != nil {
+		n.SetAttr(ConstructAttr, c)
+	}
+}
+
+// ConstructOf returns the construct a machinery node implements (nil for
+// ordinary nodes).
+func ConstructOf(n *graph.Node) Context {
+	if n == nil {
+		return nil
+	}
+	c, _ := n.Attr(ConstructAttr).(Context)
+	return c
+}
+
+// Canonical maps either branch context of a cond to the true-branch context
+// (the canonical unit identity); other contexts map to themselves.
+func Canonical(c Context) Context {
+	if cc, ok := c.(*CondContext); ok && cc.Branch == 0 && cc.Peer != nil {
+		return cc.Peer
+	}
+	return c
+}
+
+// CtxOf returns the control-flow context a value was created in.
+func CtxOf(v graph.Output) Context {
+	if v.Node == nil || v.Node.Ctx == nil {
+		return nil
+	}
+	c, ok := v.Node.Ctx.(Context)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+// IsAncestorOrSelf reports whether a encloses b (or equals it); nil
+// encloses everything.
+func IsAncestorOrSelf(a, b Context) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == nil {
+			return false
+		}
+		b = b.OuterCtx()
+	}
+}
+
+// WhileCtxOf walks outward from a context to the nearest enclosing
+// WhileContext (or the context itself), returning nil if none.
+func WhileCtxOf(c Context) *WhileContext {
+	for c != nil {
+		if w, ok := c.(*WhileContext); ok {
+			return w
+		}
+		c = c.OuterCtx()
+	}
+	return nil
+}
+
+// ctxName is used in error messages.
+func ctxName(c Context) string {
+	switch t := c.(type) {
+	case nil:
+		return "root"
+	case *CondContext:
+		return fmt.Sprintf("cond(branch=%d)", t.Branch)
+	case *WhileContext:
+		return "while(" + t.FrameName + ")"
+	default:
+		return "unknown"
+	}
+}

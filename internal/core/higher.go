@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// The higher-order functions of §2.1, all defined in terms of while_loop
+// and TensorArrays (the paper's Figure 2 defines scan this way; map_fn,
+// foldl and foldr follow the same pattern). None of them is a primitive.
+
+// Scan computes the generalized prefix sum: out[i] = fn(out[i-1], elems[i])
+// with out[-1] = init. elems is consumed along axis 0.
+func (b *Builder) Scan(fn func(acc, x graph.Output) graph.Output, elems, init graph.Output, opts WhileOpts) graph.Output {
+	if opts.Name == "" {
+		opts.Name = "scan"
+	}
+	elemTA := b.TAUnstack(b.TensorArray(b.ScalarInt(0)), elems)
+	n := b.TASize(elemTA)
+	resultTA := b.TensorArray(n)
+	i0 := b.ScalarInt(0)
+	outs := b.While(
+		[]graph.Output{i0, init, resultTA.Flow},
+		func(vars []graph.Output) graph.Output {
+			return b.Less(vars[0], n)
+		},
+		func(vars []graph.Output) []graph.Output {
+			i, acc, flow := vars[0], vars[1], vars[2]
+			x := b.TARead(TA{Handle: elemTA.Handle, Flow: elemTA.Flow}, i)
+			out := fn(acc, x)
+			w := b.TAWrite(TA{Handle: resultTA.Handle, Flow: flow}, i, out)
+			return []graph.Output{b.Add(i, b.ScalarInt(1)), out, w.Flow}
+		},
+		opts,
+	)
+	if b.err != nil {
+		return graph.Output{}
+	}
+	return b.TAStack(TA{Handle: resultTA.Handle, Flow: outs[2]})
+}
+
+// MapFn applies fn to every element of elems along axis 0.
+func (b *Builder) MapFn(fn func(x graph.Output) graph.Output, elems graph.Output, opts WhileOpts) graph.Output {
+	if opts.Name == "" {
+		opts.Name = "map"
+	}
+	elemTA := b.TAUnstack(b.TensorArray(b.ScalarInt(0)), elems)
+	n := b.TASize(elemTA)
+	resultTA := b.TensorArray(n)
+	i0 := b.ScalarInt(0)
+	outs := b.While(
+		[]graph.Output{i0, resultTA.Flow},
+		func(vars []graph.Output) graph.Output { return b.Less(vars[0], n) },
+		func(vars []graph.Output) []graph.Output {
+			i, flow := vars[0], vars[1]
+			x := b.TARead(elemTA, i)
+			w := b.TAWrite(TA{Handle: resultTA.Handle, Flow: flow}, i, fn(x))
+			return []graph.Output{b.Add(i, b.ScalarInt(1)), w.Flow}
+		},
+		opts,
+	)
+	if b.err != nil {
+		return graph.Output{}
+	}
+	return b.TAStack(TA{Handle: resultTA.Handle, Flow: outs[1]})
+}
+
+// FoldL folds fn over elems left-to-right starting from init.
+func (b *Builder) FoldL(fn func(acc, x graph.Output) graph.Output, elems, init graph.Output, opts WhileOpts) graph.Output {
+	if opts.Name == "" {
+		opts.Name = "foldl"
+	}
+	elemTA := b.TAUnstack(b.TensorArray(b.ScalarInt(0)), elems)
+	n := b.TASize(elemTA)
+	i0 := b.ScalarInt(0)
+	outs := b.While(
+		[]graph.Output{i0, init},
+		func(vars []graph.Output) graph.Output { return b.Less(vars[0], n) },
+		func(vars []graph.Output) []graph.Output {
+			i, acc := vars[0], vars[1]
+			x := b.TARead(elemTA, i)
+			return []graph.Output{b.Add(i, b.ScalarInt(1)), fn(acc, x)}
+		},
+		opts,
+	)
+	if b.err != nil {
+		return graph.Output{}
+	}
+	return outs[1]
+}
+
+// FoldR folds fn over elems right-to-left starting from init.
+func (b *Builder) FoldR(fn func(acc, x graph.Output) graph.Output, elems, init graph.Output, opts WhileOpts) graph.Output {
+	if opts.Name == "" {
+		opts.Name = "foldr"
+	}
+	elemTA := b.TAUnstack(b.TensorArray(b.ScalarInt(0)), elems)
+	n := b.TASize(elemTA)
+	start := b.Sub(n, b.ScalarInt(1))
+	outs := b.While(
+		[]graph.Output{start, init},
+		func(vars []graph.Output) graph.Output {
+			return b.Op("GreaterEqual", nil, vars[0], b.ScalarInt(0))
+		},
+		func(vars []graph.Output) []graph.Output {
+			i, acc := vars[0], vars[1]
+			x := b.TARead(elemTA, i)
+			return []graph.Output{b.Sub(i, b.ScalarInt(1)), fn(acc, x)}
+		},
+		opts,
+	)
+	if b.err != nil {
+		return graph.Output{}
+	}
+	return outs[1]
+}

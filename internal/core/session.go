@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Session executes graphs. It owns session-lifetime resources (variables)
+// and per-run step resources, prunes each run's subgraph to what the
+// fetches and targets need, and drives the local executor. Multi-device
+// placement within one process is supported directly; the distributed
+// runtime (internal/distrib) builds on the same executor with partitioned
+// graphs.
+type Session struct {
+	B *Builder
+
+	// SessRes holds variables across runs.
+	SessRes *ops.Resources
+	// RNG seeds random ops, advancing across runs.
+	RNG *tensor.RNG
+	// Mem and Runner configure per-device memory systems and kernel
+	// runners (both may be nil).
+	Mem    func(device string) ops.DeviceMem
+	Runner func(device string) exec.Runner
+	// ParallelIterations is the default loop window (0 = executor
+	// default of 32).
+	ParallelIterations int
+	// LastStats records the node-execution count of the last Run.
+	LastStats RunStats
+
+	// plans caches pruned subgraphs and executor plans per run signature
+	// (fetches + targets), like TensorFlow's per-signature executors.
+	// The cache assumes the graph is not mutated between Runs that share
+	// a signature.
+	plans map[string]*exec.Plan
+}
+
+// RunStats reports executor activity for one run.
+type RunStats struct {
+	NodesExecuted int
+	NodesInRun    int
+}
+
+// NewSession creates a session over the builder's graph.
+func NewSession(b *Builder) *Session {
+	return &Session{B: b, SessRes: ops.NewResources(), RNG: tensor.NewRNG(42),
+		plans: map[string]*exec.Plan{}}
+}
+
+// InitVariables runs all variable initializer ops recorded by the builder.
+func (s *Session) InitVariables() error {
+	if len(s.B.InitOps) == 0 {
+		return nil
+	}
+	var targets []*graph.Node
+	targets = append(targets, s.B.InitOps...)
+	_, err := s.Run(nil, nil, targets)
+	return err
+}
+
+// Run executes the subgraph needed for fetches and targets with the given
+// feeds, returning the fetched tensors in order.
+func (s *Session) Run(feeds map[string]*tensor.Tensor, fetches []graph.Output, targets []*graph.Node) ([]*tensor.Tensor, error) {
+	if err := s.B.Err(); err != nil {
+		return nil, fmt.Errorf("core: graph has a construction error: %w", err)
+	}
+	plan, nodeCount, err := s.planFor(fetches, targets)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := exec.NewFromPlan(plan, exec.Config{
+		Feeds:              feeds,
+		SessionRes:         s.SessRes,
+		RNG:                s.RNG,
+		Mem:                s.Mem,
+		Runner:             s.Runner,
+		ParallelIterations: s.ParallelIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vals, err := ex.Run()
+	s.LastStats = RunStats{NodesExecuted: ex.NumKernels(), NodesInRun: nodeCount}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(vals))
+	for i, v := range vals {
+		t, err := v.Tensor()
+		if err != nil {
+			return nil, fmt.Errorf("core: fetch %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// planFor returns (building and caching on first use) the executor plan
+// for a run signature.
+func (s *Session) planFor(fetches []graph.Output, targets []*graph.Node) (*exec.Plan, int, error) {
+	var sig strings.Builder
+	for _, f := range fetches {
+		fmt.Fprintf(&sig, "f:%d:%d;", f.Node.ID(), f.Index)
+	}
+	for _, t := range targets {
+		fmt.Fprintf(&sig, "t:%d;", t.ID())
+	}
+	// Include the graph size: new nodes (e.g. a later Gradients call)
+	// invalidate prior prunes.
+	fmt.Fprintf(&sig, "n:%d", s.B.G.NumNodes())
+	if s.plans == nil {
+		s.plans = map[string]*exec.Plan{}
+	}
+	if p, ok := s.plans[sig.String()]; ok {
+		return p, len(p.Nodes()), nil
+	}
+	nodes := Prune(s.B.G, fetches, targets)
+	p, err := exec.NewPlan(s.B.G, nodes, fetches)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.plans[sig.String()] = p
+	return p, len(nodes), nil
+}
+
+// Run1 fetches a single output.
+func (s *Session) Run1(feeds map[string]*tensor.Tensor, fetch graph.Output) (*tensor.Tensor, error) {
+	out, err := s.Run(feeds, []graph.Output{fetch}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// Prune returns the nodes transitively required by fetches and targets
+// (following data and control edges backward), in graph insertion order.
+// Like TensorFlow's session pruning, unreachable nodes — stateful or not —
+// are dropped from the step.
+func Prune(g *graph.Graph, fetches []graph.Output, targets []*graph.Node) []*graph.Node {
+	needed := map[int]bool{}
+	var stack []*graph.Node
+	push := func(n *graph.Node) {
+		if n != nil && !needed[n.ID()] {
+			needed[n.ID()] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, f := range fetches {
+		push(f.Node)
+	}
+	for _, t := range targets {
+		push(t)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range n.Inputs() {
+			push(in.Node)
+		}
+		for _, c := range n.ControlInputs() {
+			push(c)
+		}
+	}
+	var out []*graph.Node
+	for _, n := range g.Nodes() {
+		if needed[n.ID()] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,835 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// DefaultParallelIterations bounds how many iterations of one loop may be
+// in flight concurrently. The paper reports 32 as a generally good limit.
+const DefaultParallelIterations = 32
+
+// Config describes one execution (one "step") over a set of nodes.
+type Config struct {
+	// Graph is the graph the nodes belong to.
+	Graph *graph.Graph
+	// Nodes is the subset to execute (a device partition); nil means all
+	// nodes in the graph.
+	Nodes []*graph.Node
+	// Feeds supplies placeholder values by node name.
+	Feeds map[string]*tensor.Tensor
+	// Fetches are the outputs whose root-frame values to return.
+	Fetches []graph.Output
+	// StepRes is the per-step resource container (stacks, TensorArrays);
+	// if nil a fresh one is created.
+	StepRes *ops.Resources
+	// SessionRes is the session container (variables); if nil a fresh
+	// one is created.
+	SessionRes *ops.Resources
+	// RNG seeds random ops; if nil a default-seeded one is created.
+	RNG *tensor.RNG
+	// Mem returns the memory system for a device name (may return nil).
+	Mem func(device string) ops.DeviceMem
+	// Runner returns the kernel runner for a device name (nil entries
+	// fall back to the inline runner).
+	Runner func(device string) Runner
+	// Rendezvous connects Send/Recv ops; required only if the partition
+	// contains them.
+	Rendezvous Rendezvous
+	// ParallelIterations overrides the per-frame window for frames whose
+	// Enter ops do not carry their own (0 means DefaultParallelIterations).
+	ParallelIterations int
+}
+
+// Plan holds the static, reusable part of an execution: partition
+// membership, consumer edge lists, fetch slots, and frame Enter counts.
+// Sessions cache plans per run signature (like TensorFlow's per-signature
+// executor cache) so repeated Runs skip this construction.
+type Plan struct {
+	graph            *graph.Graph
+	nodes            []*graph.Node
+	fetches          []graph.Output
+	inPartition      map[int]bool
+	dataConsumers    map[int][][]graph.ConsumerEdge
+	controlConsumers map[int][]*graph.Node
+	enterCount       map[string]int
+	fetchSet         map[graph.Output]int
+	sources          []*graph.Node
+}
+
+// NewPlan validates and precomputes the static execution structures for a
+// (nodes, fetches) signature.
+func NewPlan(g *graph.Graph, nodes []*graph.Node, fetches []graph.Output) (*Plan, error) {
+	if g == nil {
+		return nil, fmt.Errorf("exec: nil graph")
+	}
+	if nodes == nil {
+		nodes = g.Nodes()
+	}
+	p := &Plan{
+		graph:            g,
+		nodes:            nodes,
+		fetches:          fetches,
+		inPartition:      map[int]bool{},
+		dataConsumers:    map[int][][]graph.ConsumerEdge{},
+		controlConsumers: map[int][]*graph.Node{},
+		enterCount:       map[string]int{},
+		fetchSet:         map[graph.Output]int{},
+	}
+	for _, n := range nodes {
+		p.inPartition[n.ID()] = true
+	}
+	for _, n := range nodes {
+		for i, in := range n.Inputs() {
+			if !p.inPartition[in.Node.ID()] {
+				return nil, fmt.Errorf("exec: node %s input %d (%s) is outside the partition", n.Name(), i, in)
+			}
+			lst := p.dataConsumers[in.Node.ID()]
+			for len(lst) <= in.Index {
+				lst = append(lst, nil)
+			}
+			lst[in.Index] = append(lst[in.Index], graph.ConsumerEdge{Node: n, Input: i})
+			p.dataConsumers[in.Node.ID()] = lst
+		}
+		for _, c := range n.ControlInputs() {
+			if !p.inPartition[c.ID()] {
+				return nil, fmt.Errorf("exec: node %s control input %s is outside the partition", n.Name(), c.Name())
+			}
+			p.controlConsumers[c.ID()] = append(p.controlConsumers[c.ID()], n)
+		}
+		if n.Op() == "Enter" {
+			p.enterCount[n.AttrString("frame_name")]++
+		}
+		if n.NumInputs() == 0 && len(n.ControlInputs()) == 0 {
+			p.sources = append(p.sources, n)
+		}
+	}
+	for i, f := range fetches {
+		if !f.Valid() {
+			return nil, fmt.Errorf("exec: invalid fetch %v", f)
+		}
+		if !p.inPartition[f.Node.ID()] {
+			return nil, fmt.Errorf("exec: fetch %s outside the partition", f)
+		}
+		p.fetchSet[f] = i
+	}
+	return p, nil
+}
+
+// Nodes returns the plan's node set.
+func (p *Plan) Nodes() []*graph.Node { return p.nodes }
+
+// Executor runs one step. It is single-use: construct, Run, discard.
+// All frame/iteration state is owned by the dispatcher goroutine (the one
+// that calls Run); kernels execute on their own goroutines and report back
+// over a channel, so no locks guard the scheduling state.
+type Executor struct {
+	cfg  Config
+	plan *Plan
+
+	root *frameState
+
+	events chan doneMsg
+	quit   chan struct{}
+
+	outstanding int
+	firstErr    error
+
+	// inlineQ holds dispatcher-inline executions (control primitives).
+	inlineQ []inlineItem
+
+	fetched []Token
+	fetchOK []bool
+
+	env *stepEnv
+
+	numKernels int
+}
+
+// doneMsg reports a finished node execution back to the dispatcher.
+type doneMsg struct {
+	node *graph.Node
+	fs   *frameState
+	iter int
+	outs []Token
+	err  error
+}
+
+// frameState is a dynamically created execution context: one per (loop,
+// enclosing iteration) instance (§4.1). The root frame has one iteration.
+type frameState struct {
+	name       string
+	parent     *frameState
+	parentIter int
+	parallel   int
+	tagPrefix  string
+
+	iterations map[int]*iterState
+	// constants holds loop-invariant tokens (is_constant Enters),
+	// re-delivered into every iteration when it starts.
+	constants []constEntry
+	// doneFrontier is the lowest iteration not yet retired.
+	doneFrontier int
+	maxActivated int
+	// deferred holds NextIteration deliveries beyond the parallel window.
+	deferred map[int][]deferredDelivery
+	children map[string]*frameState
+	// activity counts executions in flight in this frame plus active
+	// child frames; used to retire iterations of the parent.
+	activity int
+	// entersDone counts Enter executions that have targeted this frame;
+	// iteration 0 cannot retire until all of the frame's Enters ran.
+	entersDone int
+	// deadExits remembers Exit nodes whose input was dead. Dead exit
+	// tokens are not propagated eagerly (a later iteration may produce
+	// the live exit); when the frame finishes, exits that never fired
+	// live propagate a single dead token to the parent — mirroring
+	// TensorFlow's dead_exits handling.
+	deadExits []*graph.Node
+	liveExits map[int]bool
+	finalized bool
+}
+
+type constEntry struct {
+	enter *graph.Node
+	tok   Token
+}
+
+type deferredDelivery struct {
+	from *graph.Node
+	tok  Token
+}
+
+// iterState holds one iteration's per-node input bookkeeping.
+type iterState struct {
+	iter           int
+	nodes          map[int]*nodeState
+	outstanding    int // executions in flight for this iteration
+	childrenActive int // child frames of this iteration with activity
+}
+
+type nodeState struct {
+	inputs      []Token
+	arrivedData int
+	deadData    int
+	liveData    bool
+	arrivedCtl  int
+	deadCtl     int
+	scheduled   bool
+}
+
+// tag returns the dynamic tag of (frame, iter), e.g. "/while:3/inner:0";
+// it is what makes rendezvous keys unique per iteration (§3).
+func (f *frameState) tag(iter int) string {
+	return f.tagPrefix + "/" + f.name + ":" + strconv.Itoa(iter)
+}
+
+// New prepares an executor for the configuration, building a fresh plan.
+func New(cfg Config) (*Executor, error) {
+	plan, err := NewPlan(cfg.Graph, cfg.Nodes, cfg.Fetches)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromPlan(plan, cfg)
+}
+
+// NewFromPlan prepares an executor reusing a cached plan; cfg.Nodes and
+// cfg.Fetches are taken from the plan.
+func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
+	cfg.Graph = plan.graph
+	cfg.Nodes = plan.nodes
+	cfg.Fetches = plan.fetches
+	ex := &Executor{
+		cfg:    cfg,
+		plan:   plan,
+		events: make(chan doneMsg, 1024),
+		quit:   make(chan struct{}),
+	}
+	ex.fetched = make([]Token, len(cfg.Fetches))
+	ex.fetchOK = make([]bool, len(cfg.Fetches))
+	ex.root = newFrame("root", nil, 0, 1)
+	step := cfg.StepRes
+	if step == nil {
+		step = ops.NewResources()
+	}
+	sess := cfg.SessionRes
+	if sess == nil {
+		sess = ops.NewResources()
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = tensor.NewRNG(1)
+	}
+	ex.env = &stepEnv{feeds: cfg.Feeds, step: step, sess: sess, rng: rng}
+	return ex, nil
+}
+
+func newFrame(name string, parent *frameState, parentIter, parallel int) *frameState {
+	f := &frameState{
+		name:       name,
+		parent:     parent,
+		parentIter: parentIter,
+		parallel:   parallel,
+		iterations: map[int]*iterState{},
+		deferred:   map[int][]deferredDelivery{},
+		children:   map[string]*frameState{},
+		liveExits:  map[int]bool{},
+	}
+	if parent != nil {
+		f.tagPrefix = parent.tag(parentIter)
+	}
+	return f
+}
+
+// stepEnv implements ops.Env.
+type stepEnv struct {
+	feeds map[string]*tensor.Tensor
+	step  *ops.Resources
+	sess  *ops.Resources
+	rng   *tensor.RNG
+}
+
+func (e *stepEnv) Feed(name string) (*tensor.Tensor, bool) {
+	t, ok := e.feeds[name]
+	return t, ok
+}
+func (e *stepEnv) StepRes() *ops.Resources    { return e.step }
+func (e *stepEnv) SessionRes() *ops.Resources { return e.sess }
+func (e *stepEnv) RNG() *tensor.RNG           { return e.rng }
+
+// Run executes the partition to completion and returns the fetched values.
+func (ex *Executor) Run() ([]ops.Value, error) {
+	it := ex.iteration(ex.root, 0)
+	for _, n := range ex.plan.sources {
+		ex.schedule(n, ex.root, it)
+	}
+	for ex.outstanding > 0 {
+		// Inline-eligible executions (control-flow primitives: pure
+		// token bookkeeping) run on the dispatcher itself, skipping a
+		// goroutine round trip per token. Real kernels stay on their
+		// own goroutines (possibly device streams) so compute keeps
+		// its parallelism.
+		var msg doneMsg
+		if k := len(ex.inlineQ); k > 0 {
+			item := ex.inlineQ[k-1]
+			ex.inlineQ = ex.inlineQ[:k-1]
+			outs, err := ex.runNode(item.node, item.fs, item.iter, item.inputs, item.deadCtl)
+			msg = doneMsg{node: item.node, fs: item.fs, iter: item.iter, outs: outs, err: err}
+		} else {
+			msg = <-ex.events
+		}
+		if msg.err != nil && ex.firstErr == nil {
+			ex.firstErr = msg.err
+			close(ex.quit)
+		}
+		if msg.err == nil && ex.firstErr == nil {
+			ex.propagate(msg.node, msg.fs, msg.iter, msg.outs)
+		}
+		// Retire the execution after propagation so counts never dip
+		// to zero while successors are being scheduled. Frontier
+		// advance runs before the activity decrement so deferred
+		// iterations are released before the frame can finalize.
+		ex.outstanding--
+		if mit, ok := msg.fs.iterations[msg.iter]; ok {
+			mit.outstanding--
+		}
+		if ex.firstErr == nil {
+			ex.advanceFrontier(msg.fs)
+		}
+		ex.frameActivityDown(msg.fs)
+	}
+	if ex.firstErr != nil {
+		return nil, ex.firstErr
+	}
+	for i, f := range ex.cfg.Fetches {
+		if !ex.fetchOK[i] {
+			return nil, &FetchError{Output: f, Reason: "never produced (node unreachable from the executed subgraph)"}
+		}
+		if ex.fetched[i].Dead {
+			return nil, &FetchError{Output: f, Reason: "value is dead (produced on an untaken conditional branch)"}
+		}
+	}
+	out := make([]ops.Value, len(ex.fetched))
+	for i, t := range ex.fetched {
+		out[i] = t.Val
+	}
+	return out, nil
+}
+
+// NumKernels reports how many node executions ran (for tests/stats).
+func (ex *Executor) NumKernels() int { return ex.numKernels }
+
+// iteration returns (creating if needed) an iteration; creation replays
+// loop constants into it.
+func (ex *Executor) iteration(f *frameState, i int) *iterState {
+	if it, ok := f.iterations[i]; ok {
+		return it
+	}
+	it := &iterState{iter: i, nodes: map[int]*nodeState{}}
+	f.iterations[i] = it
+	if i > f.maxActivated {
+		f.maxActivated = i
+	}
+	for _, ce := range f.constants {
+		ex.deliverOutputs(ce.enter, f, i, []Token{ce.tok})
+	}
+	return it
+}
+
+func childKey(name string, iter int) string { return name + "#" + strconv.Itoa(iter) }
+
+// childFrame returns (creating if needed) the child frame an Enter targets.
+func (ex *Executor) childFrame(f *frameState, enter *graph.Node, iter int) *frameState {
+	name := enter.AttrString("frame_name")
+	key := childKey(name, iter)
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	par := enter.AttrInt("parallel_iterations")
+	if par <= 0 {
+		par = ex.cfg.ParallelIterations
+	}
+	if par <= 0 {
+		par = DefaultParallelIterations
+	}
+	c := newFrame(name, f, iter, par)
+	f.children[key] = c
+	return c
+}
+
+func (it *iterState) state(n *graph.Node) *nodeState {
+	ns, ok := it.nodes[n.ID()]
+	if !ok {
+		ns = &nodeState{inputs: make([]Token, n.NumInputs())}
+		it.nodes[n.ID()] = ns
+	}
+	return ns
+}
+
+// frameActivityUp/Down maintain the frame activity counters; a frame with
+// activity counts as an active child of its parent's iteration, blocking
+// that iteration's retirement until inner loops drain.
+func (ex *Executor) frameActivityUp(fs *frameState) {
+	fs.activity++
+	if fs.activity == 1 && fs.parent != nil {
+		pit := ex.iteration(fs.parent, fs.parentIter)
+		pit.childrenActive++
+		ex.frameActivityUp(fs.parent)
+	}
+}
+
+func (ex *Executor) frameActivityDown(fs *frameState) {
+	fs.activity--
+	if fs.activity != 0 || fs.parent == nil {
+		return
+	}
+	// The frame has drained. If all of its Enters have executed, it is
+	// finished for good: propagate dead tokens for exits that never
+	// fired live (loops on untaken branches), exactly once.
+	if ex.firstErr == nil && !fs.finalized && fs.entersDone >= ex.plan.enterCount[fs.name] {
+		fs.finalized = true
+		for _, n := range fs.deadExits {
+			if fs.liveExits[n.ID()] {
+				continue
+			}
+			ex.deliverOutputs(n, fs.parent, fs.parentIter, []Token{{Dead: true}})
+		}
+	}
+	if pit, ok := fs.parent.iterations[fs.parentIter]; ok {
+		pit.childrenActive--
+	}
+	if ex.firstErr == nil {
+		ex.advanceFrontier(fs.parent)
+	}
+	ex.frameActivityDown(fs.parent)
+}
+
+// deliverData records a data token arrival and schedules the consumer if
+// ready.
+func (ex *Executor) deliverData(ce graph.ConsumerEdge, fs *frameState, iter int, tok Token) {
+	it := ex.iteration(fs, iter)
+	ns := it.state(ce.Node)
+	if ns.scheduled {
+		return // e.g. a Merge that already fired on its first live input
+	}
+	ns.inputs[ce.Input] = tok
+	ns.arrivedData++
+	if tok.Dead {
+		ns.deadData++
+	} else {
+		ns.liveData = true
+	}
+	ex.maybeSchedule(ce.Node, fs, it)
+}
+
+// deliverControl records a control-edge arrival.
+func (ex *Executor) deliverControl(n *graph.Node, fs *frameState, iter int, dead bool) {
+	it := ex.iteration(fs, iter)
+	ns := it.state(n)
+	if ns.scheduled {
+		return
+	}
+	ns.arrivedCtl++
+	if dead {
+		ns.deadCtl++
+	}
+	ex.maybeSchedule(n, fs, it)
+}
+
+// maybeSchedule applies the readiness rules: Merge is ready on its first
+// live data input (or all-dead); every other op waits for all inputs.
+func (ex *Executor) maybeSchedule(n *graph.Node, fs *frameState, it *iterState) {
+	ns := it.state(n)
+	if ns.scheduled {
+		return
+	}
+	if ns.arrivedCtl < len(n.ControlInputs()) {
+		return
+	}
+	if n.Op() == "Merge" {
+		if !ns.liveData && ns.deadData < n.NumInputs() {
+			return
+		}
+	} else if ns.arrivedData < n.NumInputs() {
+		return
+	}
+	ex.schedule(n, fs, it)
+}
+
+// schedule queues a node execution on its own goroutine.
+func (ex *Executor) schedule(n *graph.Node, fs *frameState, it *iterState) {
+	ns := it.state(n)
+	ns.scheduled = true
+	ex.outstanding++
+	it.outstanding++
+	ex.frameActivityUp(fs)
+	ex.numKernels++
+	iter := it.iter
+	inputs := append([]Token(nil), ns.inputs...)
+	deadCtl := ns.deadCtl > 0
+	// Dead executions skip their kernels entirely (Fig. 5's propagation
+	// rule), so they are inline-eligible for every op except Send, whose
+	// dead-signal publication may touch the network.
+	dead := deadCtl || (ns.deadData > 0 && n.Op() != "Merge")
+	if inlineOps[n.Op()] || (dead && n.Op() != "Send") {
+		ex.inlineQ = append(ex.inlineQ, inlineItem{node: n, fs: fs, iter: iter, inputs: inputs, deadCtl: deadCtl})
+		return
+	}
+	go func() {
+		outs, err := ex.runNode(n, fs, iter, inputs, deadCtl)
+		ex.events <- doneMsg{node: n, fs: fs, iter: iter, outs: outs, err: err}
+	}()
+}
+
+// inlineOps never block and carry no real computation: the dispatcher
+// executes them directly.
+var inlineOps = map[string]bool{
+	"Switch": true, "Merge": true, "Enter": true, "Exit": true,
+	"NextIteration": true, "LoopCond": true, "Identity": true, "NoOp": true,
+}
+
+// inlineItem is one queued dispatcher-inline execution.
+type inlineItem struct {
+	node    *graph.Node
+	fs      *frameState
+	iter    int
+	inputs  []Token
+	deadCtl bool
+}
+
+// runNode evaluates one node instance per the Figure 5 rules. Kernel
+// panics (malformed shapes, bad dtypes) surface as step errors rather than
+// crashing the process.
+func (ex *Executor) runNode(n *graph.Node, fs *frameState, iter int, inputs []Token, deadCtl bool) (outs []Token, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs = nil
+			err = fmt.Errorf("exec: %s (%s) panicked: %v", n.Name(), n.Op(), r)
+		}
+	}()
+	return ex.runNodeInner(n, fs, iter, inputs, deadCtl)
+}
+
+func (ex *Executor) runNodeInner(n *graph.Node, fs *frameState, iter int, inputs []Token, deadCtl bool) ([]Token, error) {
+	anyDeadData := false
+	allDeadData := len(inputs) > 0
+	for _, t := range inputs {
+		if t.Dead {
+			anyDeadData = true
+		} else {
+			allDeadData = false
+		}
+	}
+	deadTokens := func() []Token {
+		out := make([]Token, n.NumOutputs())
+		for i := range out {
+			out[i] = Token{Dead: true}
+		}
+		return out
+	}
+
+	switch n.Op() {
+	case "Merge":
+		if allDeadData {
+			return deadTokens(), nil
+		}
+		for _, t := range inputs {
+			if !t.Dead && (t.Val.T != nil || t.Val.R != nil) {
+				return []Token{t}, nil
+			}
+		}
+		return nil, fmt.Errorf("exec: Merge %s fired without a live input", n.Name())
+
+	case "Switch":
+		if anyDeadData || deadCtl {
+			return deadTokens(), nil
+		}
+		p, err := inputs[1].Val.Tensor()
+		if err != nil {
+			return nil, fmt.Errorf("exec: Switch %s predicate: %w", n.Name(), err)
+		}
+		if p.DType() != tensor.Bool || p.Size() != 1 {
+			return nil, fmt.Errorf("exec: Switch %s predicate must be a scalar bool, got %s", n.Name(), p)
+		}
+		d := inputs[0]
+		if p.ScalarBoolValue() {
+			return []Token{{Dead: true}, d}, nil
+		}
+		return []Token{d, {Dead: true}}, nil
+
+	case "Enter", "Exit", "NextIteration":
+		if deadCtl || anyDeadData {
+			return deadTokens(), nil
+		}
+		return []Token{inputs[0]}, nil
+
+	case "Send":
+		if deadCtl {
+			return nil, nil // peer's control loop mirrors the suppression
+		}
+		if ex.cfg.Rendezvous == nil {
+			return nil, fmt.Errorf("exec: Send %s without a rendezvous", n.Name())
+		}
+		key := RendezvousKey(n.AttrString(SendKeyAttr), fs.tag(iter))
+		tok := Token{Dead: anyDeadData}
+		if !anyDeadData {
+			tok = inputs[0]
+		}
+		if err := ex.cfg.Rendezvous.Send(key, tok); err != nil {
+			return nil, fmt.Errorf("exec: Send %s: %w", n.Name(), err)
+		}
+		return nil, nil
+
+	case "Recv":
+		if deadCtl {
+			return deadTokens(), nil
+		}
+		if ex.cfg.Rendezvous == nil {
+			return nil, fmt.Errorf("exec: Recv %s without a rendezvous", n.Name())
+		}
+		key := RendezvousKey(n.AttrString(SendKeyAttr), fs.tag(iter))
+		tok, err := ex.cfg.Rendezvous.Recv(key, ex.quit)
+		if err != nil {
+			select {
+			case <-ex.quit: // aborted elsewhere; stand down quietly
+				return deadTokens(), nil
+			default:
+			}
+			return nil, fmt.Errorf("exec: Recv %s: %w", n.Name(), err)
+		}
+		return []Token{tok}, nil
+	}
+
+	// Ordinary op: deadness propagation (last rule of Fig. 5).
+	if anyDeadData || deadCtl {
+		return deadTokens(), nil
+	}
+	def, err := ops.Get(n.Op())
+	if err != nil {
+		return nil, err
+	}
+	if def.Kernel == nil {
+		return nil, fmt.Errorf("exec: op %s has no kernel", n.Op())
+	}
+	kctx := &ops.KernelContext{
+		OpName:   n.Op(),
+		NodeName: n.Name(),
+		Attrs:    n.AttrsMap(),
+		In:       valuesOf(inputs),
+		Env:      ex.env,
+	}
+	if ex.cfg.Mem != nil {
+		kctx.Mem = ex.cfg.Mem(n.Device())
+	}
+	runner := Runner(inlineRunner{})
+	if ex.cfg.Runner != nil {
+		if r := ex.cfg.Runner(n.Device()); r != nil {
+			runner = r
+		}
+	}
+	var vals []ops.Value
+	var kerr error
+	runner.RunKernel(n.Name(), n.Op(), func() {
+		vals, kerr = def.Kernel(kctx)
+	})
+	if kerr != nil {
+		return nil, fmt.Errorf("exec: %s (%s): %w", n.Name(), n.Op(), kerr)
+	}
+	if len(vals) != n.NumOutputs() {
+		return nil, fmt.Errorf("exec: %s (%s): kernel returned %d outputs, node declares %d", n.Name(), n.Op(), len(vals), n.NumOutputs())
+	}
+	outs := make([]Token, len(vals))
+	for i, v := range vals {
+		outs[i] = Token{Val: v}
+	}
+	return outs, nil
+}
+
+func valuesOf(ts []Token) []ops.Value {
+	out := make([]ops.Value, len(ts))
+	for i, t := range ts {
+		out[i] = t.Val
+	}
+	return out
+}
+
+// propagate delivers a finished node's outputs per the frame rules: Enter
+// into the child frame's iteration 0 (or as a loop constant), Exit into the
+// parent frame, NextIteration into the next iteration (deferred if beyond
+// the parallel window), everything else within the same (frame, iteration).
+func (ex *Executor) propagate(n *graph.Node, fs *frameState, iter int, outs []Token) {
+	switch n.Op() {
+	case "Enter":
+		child := ex.childFrame(fs, n, iter)
+		child.entersDone++
+		if n.AttrBool("is_constant") {
+			child.constants = append(child.constants, constEntry{enter: n, tok: outs[0]})
+			if len(child.iterations) == 0 {
+				ex.iteration(child, 0) // replays constants incl. this one
+				return
+			}
+			for i := child.doneFrontier; i <= child.maxActivated; i++ {
+				if _, ok := child.iterations[i]; ok {
+					ex.deliverOutputs(n, child, i, outs)
+				}
+			}
+			return
+		}
+		ex.iteration(child, 0)
+		ex.deliverOutputs(n, child, 0, outs)
+	case "Exit":
+		if fs.parent == nil {
+			ex.fail(fmt.Errorf("exec: Exit %s executed in the root frame", n.Name()))
+			return
+		}
+		if outs[0].Dead {
+			// Suppressed: a later iteration may exit live; if none
+			// does, frame finalization delivers one dead token.
+			fs.deadExits = append(fs.deadExits, n)
+			return
+		}
+		fs.liveExits[n.ID()] = true
+		ex.deliverOutputs(n, fs.parent, fs.parentIter, outs)
+	case "NextIteration":
+		if outs[0].Dead {
+			return // deadness stops at the end of an iteration
+		}
+		next := iter + 1
+		if next >= fs.doneFrontier+fs.parallel {
+			fs.deferred[next] = append(fs.deferred[next], deferredDelivery{from: n, tok: outs[0]})
+			return
+		}
+		ex.iteration(fs, next)
+		ex.deliverOutputs(n, fs, next, outs)
+	default:
+		ex.deliverOutputs(n, fs, iter, outs)
+	}
+}
+
+func (ex *Executor) fail(err error) {
+	if ex.firstErr == nil {
+		ex.firstErr = err
+		close(ex.quit)
+	}
+}
+
+// deliverOutputs fans tokens out to data and control consumers within one
+// (frame, iteration).
+func (ex *Executor) deliverOutputs(n *graph.Node, fs *frameState, iter int, outs []Token) {
+	if fs == ex.root {
+		// Fetches observe values as delivered into the root frame (an
+		// Exit's output materializes in its parent frame).
+		for port := range outs {
+			if slot, ok := ex.plan.fetchSet[n.Out(port)]; ok {
+				ex.fetched[slot] = outs[port]
+				ex.fetchOK[slot] = true
+			}
+		}
+	}
+	ports := ex.plan.dataConsumers[n.ID()]
+	for port, tok := range outs {
+		if port >= len(ports) {
+			break
+		}
+		for _, ce := range ports[port] {
+			ex.deliverData(ce, fs, iter, tok)
+		}
+	}
+	dead := len(outs) > 0
+	for _, t := range outs {
+		if !t.Dead {
+			dead = false
+			break
+		}
+	}
+	for _, c := range ex.plan.controlConsumers[n.ID()] {
+		ex.deliverControl(c, fs, iter, dead)
+	}
+}
+
+// advanceFrontier retires drained iterations in order and releases deferred
+// NextIteration tokens as the parallel window slides forward. The root
+// frame is never retired (it ends with the whole execution).
+func (ex *Executor) advanceFrontier(fs *frameState) {
+	if fs.parent == nil {
+		return
+	}
+	for {
+		progress := false
+		limit := fs.doneFrontier + fs.parallel
+		for tgt := fs.doneFrontier; tgt < limit; tgt++ {
+			if dl, ok := fs.deferred[tgt]; ok {
+				delete(fs.deferred, tgt)
+				ex.iteration(fs, tgt)
+				for _, d := range dl {
+					ex.deliverOutputs(d.from, fs, tgt, []Token{d.tok})
+				}
+				progress = true
+			}
+		}
+		if cur, ok := fs.iterations[fs.doneFrontier]; ok &&
+			cur.outstanding == 0 && cur.childrenActive == 0 && ex.retirable(fs, cur) {
+			delete(fs.iterations, fs.doneFrontier)
+			fs.doneFrontier++
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// retirable guards iteration 0 against retiring before all of the frame's
+// Enter nodes have delivered their tokens. Later iterations receive tokens
+// only from the previous (already retired, hence fully drained) iteration,
+// so a drained non-zero iteration is always safe to retire.
+func (ex *Executor) retirable(fs *frameState, it *iterState) bool {
+	if it.iter == 0 && fs.entersDone < ex.plan.enterCount[fs.name] {
+		return false
+	}
+	return true
+}

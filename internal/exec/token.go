@@ -1,0 +1,86 @@
+// Package exec implements the paper's local executor (§4.3): a dynamic
+// dataflow machine in which every value is a tagged token (value, is_dead,
+// tag), frames are dynamically allocated execution contexts created per
+// loop iteration, and the control-flow primitives Switch, Merge, Enter,
+// Exit, and NextIteration are evaluated by the rules of Figure 5.
+//
+// The executor starts from source nodes and repeatedly executes nodes that
+// become ready. A node other than Merge becomes ready when all its inputs
+// (in its frame and iteration) are available; Merge becomes ready when any
+// live data input arrives, or when all of its data inputs are dead. Ops with
+// a dead input skip their computation and propagate deadness downstream,
+// which is what makes distributed execution of untaken branches work.
+//
+// Multiple iterations of a loop may run concurrently, bounded by the
+// frame's parallel-iterations window (default 32, the value the paper
+// reports works well).
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+
+	// Register the stack and TensorArray kernels with the op registry;
+	// every executor must be able to run them.
+	_ "repro/internal/stack"
+	_ "repro/internal/tarray"
+)
+
+// Token is a tagged value: the unit that flows along edges at run time. The
+// tag (frame path + iteration) is implicit in where the token is delivered;
+// Dead marks tokens on untaken conditional branches.
+type Token struct {
+	Val  ops.Value
+	Dead bool
+}
+
+// Rendezvous exchanges tokens between executors (the Send/Recv mechanism of
+// §3). Keys incorporate the dynamic frame tag so each iteration's transfer
+// is distinct.
+type Rendezvous interface {
+	// Send publishes the token under key. It must not block indefinitely.
+	Send(key string, t Token) error
+	// Recv blocks until a token is published under key, or cancel is
+	// closed (in which case it returns an error).
+	Recv(key string, cancel <-chan struct{}) (Token, error)
+}
+
+// Runner executes kernels for a device. Implementations may serialize
+// kernels (modeling an accelerator's compute stream) and record timelines.
+// The CPU runner invokes fn directly.
+type Runner interface {
+	// RunKernel runs fn; kind is "compute" for ordinary kernels. It
+	// blocks until fn has run.
+	RunKernel(node string, op string, fn func())
+}
+
+// inlineRunner runs kernels inline on the calling goroutine.
+type inlineRunner struct{}
+
+func (inlineRunner) RunKernel(node, op string, fn func()) { fn() }
+
+// InlineRunner returns a Runner that executes kernels directly on the
+// calling goroutine (the CPU device behavior).
+func InlineRunner() Runner { return inlineRunner{} }
+
+// SendKeyAttr and frame tags compose rendezvous keys.
+const SendKeyAttr = "key"
+
+// RendezvousKey builds the dynamic rendezvous key for a Send/Recv pair:
+// the static edge key plus the dynamic frame tag, so that each execution of
+// the same op gets a distinct key (§3).
+func RendezvousKey(staticKey, frameTag string) string {
+	return staticKey + "@" + frameTag
+}
+
+// FetchError describes a failed fetch.
+type FetchError struct {
+	Output graph.Output
+	Reason string
+}
+
+func (e *FetchError) Error() string {
+	return fmt.Sprintf("exec: fetch %s: %s", e.Output, e.Reason)
+}

@@ -1,0 +1,31 @@
+package nn
+
+import (
+	"repro/dcf"
+)
+
+// Embedding is a trainable lookup table [vocab, dim]; its gradient is the
+// scatter-add of output gradients into the selected rows (the Gather
+// gradient), the sparse-update pattern §2.2's NMT models rely on.
+type Embedding struct {
+	g     *dcf.Graph
+	Table dcf.Tensor
+	Vars  VarSet
+	Vocab int
+	Dim   int
+}
+
+// NewEmbedding declares a [vocab, dim] table.
+func NewEmbedding(g *dcf.Graph, name string, vocab, dim int, seed uint64) *Embedding {
+	e := &Embedding{g: g, Vocab: vocab, Dim: dim}
+	tn := name + "/table"
+	e.Table = g.Variable(tn, dcf.RandNormal(seed, 0, 0.1, vocab, dim))
+	e.Vars.Add(tn, e.Table, vocab, dim)
+	return e
+}
+
+// Lookup gathers rows for int indices of any shape, yielding
+// [...indices, dim].
+func (e *Embedding) Lookup(ids dcf.Tensor) dcf.Tensor {
+	return e.Table.Gather(ids)
+}

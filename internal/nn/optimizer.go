@@ -1,0 +1,30 @@
+package nn
+
+import (
+	"repro/dcf"
+)
+
+// MomentumStep builds a momentum-SGD update: for each variable v with
+// gradient g, velocity = mu*velocity + g; v -= lr*velocity. Velocities are
+// session variables named "<var>@velocity", initialized to zeros of the
+// variable's shape (recorded in the VarSet by the layer constructors).
+func MomentumStep(g *dcf.Graph, loss dcf.Tensor, vars *VarSet, lr, mu float64, swap bool) (dcf.Op, error) {
+	grads, err := g.Gradients(loss, vars.Reads, dcf.GradOptions{SwapMemory: swap})
+	if err != nil {
+		return dcf.Op{}, err
+	}
+	lrT := g.Scalar(lr)
+	muT := g.Scalar(mu)
+	ops := make([]dcf.Op, 0, 2*len(grads))
+	for i, gr := range grads {
+		velName := vars.Names[i] + "@velocity"
+		vel := g.Variable(velName, dcf.Zeros(vars.Shapes[i]...))
+		newVel := vel.Mul(muT).Add(gr)
+		setVel := g.Assign(velName, newVel)
+		apply := g.ApplySGD(vars.Names[i], newVel, lrT)
+		// Deterministic ordering between the two writes.
+		apply.Node().AddControlInput(setVel.Node())
+		ops = append(ops, setVel, apply)
+	}
+	return g.Group(ops...), nil
+}

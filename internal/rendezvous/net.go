@@ -1,0 +1,212 @@
+package rendezvous
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/tensor"
+)
+
+// wireMsg is the on-the-wire form of a token.
+type wireMsg struct {
+	Key   string
+	Dead  bool
+	HasT  bool
+	DType int
+	Shape []int
+	F     []float64
+	I     []int64
+	B     []bool
+	S     []string
+}
+
+func toWire(key string, t exec.Token) (*wireMsg, error) {
+	m := &wireMsg{Key: key, Dead: t.Dead}
+	if t.Val.R != nil {
+		return nil, fmt.Errorf("rendezvous: resource handles cannot cross workers (key %q)", key)
+	}
+	if t.Val.T != nil {
+		m.HasT = true
+		m.DType = int(t.Val.T.DType())
+		m.Shape = t.Val.T.Shape()
+		m.F = t.Val.T.F
+		m.I = t.Val.T.I
+		m.B = t.Val.T.B
+		m.S = t.Val.T.S
+	}
+	return m, nil
+}
+
+func fromWire(m *wireMsg) exec.Token {
+	tok := exec.Token{Dead: m.Dead}
+	if m.HasT {
+		var v *tensor.Tensor
+		switch tensor.DType(m.DType) {
+		case tensor.Float:
+			v = tensor.FromFloats(m.F, m.Shape...)
+		case tensor.Int:
+			v = tensor.FromInts(m.I, m.Shape...)
+		case tensor.Bool:
+			v = tensor.FromBools(m.B, m.Shape...)
+		case tensor.Str:
+			v = tensor.FromStrings(m.S, m.Shape...)
+		}
+		tok.Val.T = v
+	}
+	return tok
+}
+
+// Net is a TCP rendezvous for multi-process execution: each worker runs a
+// server; Send routes to the destination worker parsed from the key's
+// ";dst=<worker>;" component (the partitioner embeds it); Recv waits on the
+// local table.
+type Net struct {
+	self  string
+	local *Local
+
+	mu       sync.Mutex
+	peers    map[string]string // worker -> address
+	conns    map[string]*gob.Encoder
+	raw      map[string]net.Conn
+	accepted []net.Conn
+	ln       net.Listener
+	wg       sync.WaitGroup
+}
+
+// NewNet starts a worker's rendezvous server on addr (e.g. "127.0.0.1:0").
+func NewNet(self, addr string) (*Net, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rendezvous: listen: %w", err)
+	}
+	n := &Net{
+		self:  self,
+		local: NewLocal(0, 0),
+		peers: map[string]string{},
+		conns: map[string]*gob.Encoder{},
+		raw:   map[string]net.Conn{},
+		ln:    ln,
+	}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// Addr returns the listening address.
+func (n *Net) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer registers a peer worker's address.
+func (n *Net) AddPeer(worker, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[worker] = addr
+}
+
+// Close shuts the server and connections down.
+func (n *Net) Close() {
+	n.ln.Close()
+	n.mu.Lock()
+	for _, c := range n.raw {
+		c.Close()
+	}
+	for _, c := range n.accepted {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.local.Abort(fmt.Errorf("rendezvous: closed"))
+	n.wg.Wait()
+}
+
+func (n *Net) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		n.accepted = append(n.accepted, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			for {
+				var m wireMsg
+				if err := dec.Decode(&m); err != nil {
+					return
+				}
+				_ = n.local.Send(m.Key, fromWire(&m))
+			}
+		}()
+	}
+}
+
+// DstWorker extracts the destination worker from a rendezvous key.
+func DstWorker(key string) string {
+	for _, part := range strings.Split(key, ";") {
+		if w, ok := strings.CutPrefix(part, "dstw="); ok {
+			// Strip any dynamic tag suffix.
+			if at := strings.IndexByte(w, '@'); at >= 0 {
+				w = w[:at]
+			}
+			return w
+		}
+	}
+	return ""
+}
+
+// Send routes the token to the destination worker.
+func (n *Net) Send(key string, t exec.Token) error {
+	dst := DstWorker(key)
+	if dst == "" || dst == n.self {
+		return n.local.Send(key, t)
+	}
+	m, err := toWire(key, t)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	enc, ok := n.conns[dst]
+	if !ok {
+		addr, known := n.peers[dst]
+		if !known {
+			return fmt.Errorf("rendezvous: unknown worker %q", dst)
+		}
+		// Peers may come up in any order; retry briefly.
+		var conn net.Conn
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			conn, err = net.Dial("tcp", addr)
+			if err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("rendezvous: dial %s: %w", dst, err)
+		}
+		n.raw[dst] = conn
+		enc = gob.NewEncoder(conn)
+		n.conns[dst] = enc
+	}
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("rendezvous: send to %s: %w", dst, err)
+	}
+	return nil
+}
+
+// Recv waits for a token on the local table.
+func (n *Net) Recv(key string, cancel <-chan struct{}) (exec.Token, error) {
+	return n.local.Recv(key, cancel)
+}
+
+// Abort fails pending operations.
+func (n *Net) Abort(err error) { n.local.Abort(err) }

@@ -1,0 +1,426 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// BroadcastShapes computes the NumPy-style broadcast shape of a and b, or an
+// error if they are incompatible.
+func BroadcastShapes(a, b []int) ([]int, error) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		da, db := 1, 1
+		if i >= n-len(a) {
+			da = a[i-(n-len(a))]
+		}
+		if i >= n-len(b) {
+			db = b[i-(n-len(b))]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: cannot broadcast shapes %v and %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// strides returns row-major strides for shape.
+func strides(shape []int) []int {
+	st := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= shape[i]
+	}
+	return st
+}
+
+// broadcastIndexer returns a function mapping a flat index in the broadcast
+// output shape to the flat index in a tensor of shape `from`.
+func broadcastIndexer(from, to []int) func(int) int {
+	if ShapeEq(from, to) {
+		return func(i int) int { return i }
+	}
+	fromSt := strides(from)
+	toSt := strides(to)
+	offset := len(to) - len(from)
+	return func(flat int) int {
+		src := 0
+		for i, st := range toSt {
+			ix := flat / st % to[i]
+			j := i - offset
+			if j < 0 {
+				continue
+			}
+			if from[j] == 1 {
+				continue
+			}
+			src += ix * fromSt[j]
+		}
+		return src
+	}
+}
+
+// binaryFloat applies fn elementwise with broadcasting over float tensors.
+func binaryFloat(name string, a, b *Tensor, fn func(x, y float64) float64) (*Tensor, error) {
+	if a.dtype == Int && b.dtype == Int {
+		// Integer fast path: operate in float space but emit ints for
+		// closed operations. Callers needing true int semantics use
+		// the *Int helpers below.
+		af, _ := Cast(a, Float)
+		bf, _ := Cast(b, Float)
+		r, err := binaryFloat(name, af, bf, fn)
+		if err != nil {
+			return nil, err
+		}
+		return Cast(r, Int)
+	}
+	if a.dtype != Float || b.dtype != Float {
+		return nil, fmt.Errorf("tensor: %s requires float operands, got %v and %v", name, a.dtype, b.dtype)
+	}
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: %s: %w", name, err)
+	}
+	out := New(Float, shape...)
+	n := out.Size()
+	if ShapeEq(a.shape, shape) && ShapeEq(b.shape, shape) {
+		for i := 0; i < n; i++ {
+			out.F[i] = fn(a.F[i], b.F[i])
+		}
+		return out, nil
+	}
+	ai := broadcastIndexer(a.shape, shape)
+	bi := broadcastIndexer(b.shape, shape)
+	for i := 0; i < n; i++ {
+		out.F[i] = fn(a.F[ai(i)], b.F[bi(i)])
+	}
+	return out, nil
+}
+
+// Add returns a+b with broadcasting.
+func Add(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Add", a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a-b with broadcasting.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Sub", a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a*b elementwise with broadcasting.
+func Mul(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Mul", a, b, func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a/b elementwise with broadcasting.
+func Div(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Div", a, b, func(x, y float64) float64 { return x / y })
+}
+
+// Pow returns a**b elementwise with broadcasting.
+func Pow(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Pow", a, b, math.Pow)
+}
+
+// Maximum returns elementwise max with broadcasting.
+func Maximum(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Maximum", a, b, math.Max)
+}
+
+// Minimum returns elementwise min with broadcasting.
+func Minimum(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Minimum", a, b, math.Min)
+}
+
+// Mod returns elementwise floating-point remainder with broadcasting.
+func Mod(a, b *Tensor) (*Tensor, error) {
+	return binaryFloat("Mod", a, b, math.Mod)
+}
+
+// AddInt adds int tensors with broadcasting, staying in int64.
+func AddInt(a, b *Tensor) (*Tensor, error) {
+	if a.dtype != Int || b.dtype != Int {
+		return nil, fmt.Errorf("tensor: AddInt requires int operands")
+	}
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		return nil, err
+	}
+	out := New(Int, shape...)
+	ai := broadcastIndexer(a.shape, shape)
+	bi := broadcastIndexer(b.shape, shape)
+	for i := range out.I {
+		out.I[i] = a.I[ai(i)] + b.I[bi(i)]
+	}
+	return out, nil
+}
+
+// unaryFloat applies fn elementwise to a float tensor.
+func unaryFloat(name string, t *Tensor, fn func(float64) float64) (*Tensor, error) {
+	if t.dtype == Int {
+		f, _ := Cast(t, Float)
+		r, err := unaryFloat(name, f, fn)
+		if err != nil {
+			return nil, err
+		}
+		return Cast(r, Int)
+	}
+	if t.dtype != Float {
+		return nil, fmt.Errorf("tensor: %s requires a float tensor, got %v", name, t.dtype)
+	}
+	out := New(Float, t.shape...)
+	for i, v := range t.F {
+		out.F[i] = fn(v)
+	}
+	return out, nil
+}
+
+// Neg returns -t.
+func Neg(t *Tensor) (*Tensor, error) {
+	return unaryFloat("Neg", t, func(x float64) float64 { return -x })
+}
+
+// Abs returns |t|.
+func Abs(t *Tensor) (*Tensor, error) { return unaryFloat("Abs", t, math.Abs) }
+
+// Exp returns e**t elementwise.
+func Exp(t *Tensor) (*Tensor, error) { return unaryFloat("Exp", t, math.Exp) }
+
+// Log returns ln(t) elementwise.
+func Log(t *Tensor) (*Tensor, error) { return unaryFloat("Log", t, math.Log) }
+
+// Sqrt returns sqrt(t) elementwise.
+func Sqrt(t *Tensor) (*Tensor, error) { return unaryFloat("Sqrt", t, math.Sqrt) }
+
+// Square returns t*t elementwise.
+func Square(t *Tensor) (*Tensor, error) {
+	return unaryFloat("Square", t, func(x float64) float64 { return x * x })
+}
+
+// Sigmoid returns 1/(1+e^-t) elementwise.
+func Sigmoid(t *Tensor) (*Tensor, error) {
+	return unaryFloat("Sigmoid", t, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Tanh returns tanh(t) elementwise.
+func Tanh(t *Tensor) (*Tensor, error) { return unaryFloat("Tanh", t, math.Tanh) }
+
+// Relu returns max(t, 0) elementwise.
+func Relu(t *Tensor) (*Tensor, error) {
+	return unaryFloat("Relu", t, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Sign returns -1, 0, or 1 elementwise.
+func Sign(t *Tensor) (*Tensor, error) {
+	return unaryFloat("Sign", t, func(x float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		}
+		return 0
+	})
+}
+
+// compare applies a predicate elementwise with broadcasting, yielding Bool.
+func compare(name string, a, b *Tensor, fn func(x, y float64) bool) (*Tensor, error) {
+	af := a
+	bf := b
+	var err error
+	if a.dtype == Int {
+		if af, err = Cast(a, Float); err != nil {
+			return nil, err
+		}
+	}
+	if b.dtype == Int {
+		if bf, err = Cast(b, Float); err != nil {
+			return nil, err
+		}
+	}
+	if af.dtype != Float || bf.dtype != Float {
+		return nil, fmt.Errorf("tensor: %s requires numeric operands, got %v and %v", name, a.dtype, b.dtype)
+	}
+	shape, err := BroadcastShapes(af.shape, bf.shape)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: %s: %w", name, err)
+	}
+	out := New(Bool, shape...)
+	ai := broadcastIndexer(af.shape, shape)
+	bi := broadcastIndexer(bf.shape, shape)
+	for i := range out.B {
+		out.B[i] = fn(af.F[ai(i)], bf.F[bi(i)])
+	}
+	return out, nil
+}
+
+// Greater returns a>b elementwise.
+func Greater(a, b *Tensor) (*Tensor, error) {
+	return compare("Greater", a, b, func(x, y float64) bool { return x > y })
+}
+
+// GreaterEqual returns a>=b elementwise.
+func GreaterEqual(a, b *Tensor) (*Tensor, error) {
+	return compare("GreaterEqual", a, b, func(x, y float64) bool { return x >= y })
+}
+
+// Less returns a<b elementwise.
+func Less(a, b *Tensor) (*Tensor, error) {
+	return compare("Less", a, b, func(x, y float64) bool { return x < y })
+}
+
+// LessEqual returns a<=b elementwise.
+func LessEqual(a, b *Tensor) (*Tensor, error) {
+	return compare("LessEqual", a, b, func(x, y float64) bool { return x <= y })
+}
+
+// EqualElems returns a==b elementwise (numeric).
+func EqualElems(a, b *Tensor) (*Tensor, error) {
+	return compare("Equal", a, b, func(x, y float64) bool { return x == y })
+}
+
+// NotEqual returns a!=b elementwise (numeric).
+func NotEqual(a, b *Tensor) (*Tensor, error) {
+	return compare("NotEqual", a, b, func(x, y float64) bool { return x != y })
+}
+
+// LogicalAnd returns a&&b elementwise over bool tensors with broadcasting.
+func LogicalAnd(a, b *Tensor) (*Tensor, error) {
+	return logical("LogicalAnd", a, b, func(x, y bool) bool { return x && y })
+}
+
+// LogicalOr returns a||b elementwise over bool tensors with broadcasting.
+func LogicalOr(a, b *Tensor) (*Tensor, error) {
+	return logical("LogicalOr", a, b, func(x, y bool) bool { return x || y })
+}
+
+func logical(name string, a, b *Tensor, fn func(x, y bool) bool) (*Tensor, error) {
+	if a.dtype != Bool || b.dtype != Bool {
+		return nil, fmt.Errorf("tensor: %s requires bool operands, got %v and %v", name, a.dtype, b.dtype)
+	}
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: %s: %w", name, err)
+	}
+	out := New(Bool, shape...)
+	ai := broadcastIndexer(a.shape, shape)
+	bi := broadcastIndexer(b.shape, shape)
+	for i := range out.B {
+		out.B[i] = fn(a.B[ai(i)], b.B[bi(i)])
+	}
+	return out, nil
+}
+
+// LogicalNot returns !t elementwise.
+func LogicalNot(t *Tensor) (*Tensor, error) {
+	if t.dtype != Bool {
+		return nil, fmt.Errorf("tensor: LogicalNot requires a bool tensor, got %v", t.dtype)
+	}
+	out := New(Bool, t.shape...)
+	for i, v := range t.B {
+		out.B[i] = !v
+	}
+	return out, nil
+}
+
+// Select returns elements of a where cond is true, else elements of b, with
+// broadcasting of cond over the leading dimension (TF Where/Select
+// semantics: cond is either the same shape or a vector matching dim 0).
+func Select(cond, a, b *Tensor) (*Tensor, error) {
+	if cond.dtype != Bool {
+		return nil, fmt.Errorf("tensor: Select condition must be bool, got %v", cond.dtype)
+	}
+	if !SameShape(a, b) || a.dtype != b.dtype {
+		return nil, fmt.Errorf("tensor: Select branches must match: %v vs %v", a, b)
+	}
+	out := ZerosLike(a)
+	n := a.Size()
+	pick := func(i int) bool {
+		if cond.Size() == n {
+			return cond.B[i]
+		}
+		if cond.Size() == 1 {
+			return cond.B[0]
+		}
+		if a.Rank() > 0 && cond.Rank() == 1 && cond.Dim(0) == a.Dim(0) {
+			inner := n / a.Dim(0)
+			return cond.B[i/inner]
+		}
+		panic(fmt.Sprintf("tensor: Select cond shape %v incompatible with %v", cond.shape, a.shape))
+	}
+	for i := 0; i < n; i++ {
+		var src *Tensor
+		if pick(i) {
+			src = a
+		} else {
+			src = b
+		}
+		switch a.dtype {
+		case Float:
+			out.F[i] = src.F[i]
+		case Int:
+			out.I[i] = src.I[i]
+		case Bool:
+			out.B[i] = src.B[i]
+		case Str:
+			out.S[i] = src.S[i]
+		}
+	}
+	return out, nil
+}
+
+// AddN sums any number of same-shaped float tensors.
+func AddN(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("tensor: AddN of nothing")
+	}
+	out := ts[0].Clone()
+	if out.dtype != Float && out.dtype != Int {
+		return nil, fmt.Errorf("tensor: AddN requires numeric tensors")
+	}
+	for _, t := range ts[1:] {
+		if !SameShape(out, t) || t.dtype != out.dtype {
+			return nil, fmt.Errorf("tensor: AddN shape/dtype mismatch: %v vs %v", out, t)
+		}
+		switch out.dtype {
+		case Float:
+			for i := range out.F {
+				out.F[i] += t.F[i]
+			}
+		case Int:
+			for i := range out.I {
+				out.I[i] += t.I[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// AccumulateInto adds src into dst in place (same shape/dtype float). Used
+// by gradient aggregation and resource variables that own their buffer.
+func AccumulateInto(dst, src *Tensor) error {
+	if dst.dtype != Float || src.dtype != Float || !SameShape(dst, src) {
+		return fmt.Errorf("tensor: AccumulateInto mismatch: %v vs %v", dst, src)
+	}
+	for i := range dst.F {
+		dst.F[i] += src.F[i]
+	}
+	return nil
+}

@@ -1,0 +1,511 @@
+// Package tensor implements dense multi-dimensional arrays and the math
+// kernels used by the dataflow runtime. It is the repository's equivalent of
+// TensorFlow's Tensor/Eigen substrate: row-major dense storage, a small set
+// of element types, shape algebra with NumPy-style broadcasting, linear
+// algebra, reductions, and array manipulation.
+//
+// All operations return new tensors; tensors are treated as immutable by the
+// runtime once produced (mutation helpers exist for construction and for
+// in-place accumulation inside resources that own their buffers).
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType enumerates the element types supported by the runtime.
+type DType int
+
+// Supported element types.
+const (
+	Float DType = iota // float64
+	Int                // int64
+	Bool               // bool
+	Str                // string
+)
+
+// String returns the canonical lowercase name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case Str:
+		return "string"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Tensor is a dense, row-major multi-dimensional array. Exactly one of the
+// backing slices is non-nil, selected by dtype. The zero value is an invalid
+// tensor; use the constructors.
+type Tensor struct {
+	dtype DType
+	shape []int
+
+	F []float64
+	I []int64
+	B []bool
+	S []string
+}
+
+// New returns a zero-filled tensor of the given dtype and shape.
+func New(dtype DType, shape ...int) *Tensor {
+	n := NumElements(shape)
+	t := &Tensor{dtype: dtype, shape: cloneShape(shape)}
+	switch dtype {
+	case Float:
+		t.F = make([]float64, n)
+	case Int:
+		t.I = make([]int64, n)
+	case Bool:
+		t.B = make([]bool, n)
+	case Str:
+		t.S = make([]string, n)
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %v", dtype))
+	}
+	return t
+}
+
+// NumElements returns the product of dims; the empty shape has one element
+// (a scalar). It panics on negative dimensions.
+func NumElements(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func cloneShape(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// FromFloats wraps data (copied) in a float tensor of the given shape.
+func FromFloats(data []float64, shape ...int) *Tensor {
+	if len(data) != NumElements(shape) {
+		panic(fmt.Sprintf("tensor: %d elements do not fit shape %v", len(data), shape))
+	}
+	t := &Tensor{dtype: Float, shape: cloneShape(shape), F: make([]float64, len(data))}
+	copy(t.F, data)
+	return t
+}
+
+// FromInts wraps data (copied) in an int tensor of the given shape.
+func FromInts(data []int64, shape ...int) *Tensor {
+	if len(data) != NumElements(shape) {
+		panic(fmt.Sprintf("tensor: %d elements do not fit shape %v", len(data), shape))
+	}
+	t := &Tensor{dtype: Int, shape: cloneShape(shape), I: make([]int64, len(data))}
+	copy(t.I, data)
+	return t
+}
+
+// FromBools wraps data (copied) in a bool tensor of the given shape.
+func FromBools(data []bool, shape ...int) *Tensor {
+	if len(data) != NumElements(shape) {
+		panic(fmt.Sprintf("tensor: %d elements do not fit shape %v", len(data), shape))
+	}
+	t := &Tensor{dtype: Bool, shape: cloneShape(shape), B: make([]bool, len(data))}
+	copy(t.B, data)
+	return t
+}
+
+// FromStrings wraps data (copied) in a string tensor of the given shape.
+func FromStrings(data []string, shape ...int) *Tensor {
+	if len(data) != NumElements(shape) {
+		panic(fmt.Sprintf("tensor: %d elements do not fit shape %v", len(data), shape))
+	}
+	t := &Tensor{dtype: Str, shape: cloneShape(shape), S: make([]string, len(data))}
+	copy(t.S, data)
+	return t
+}
+
+// Scalar returns a rank-0 float tensor.
+func Scalar(v float64) *Tensor { return FromFloats([]float64{v}) }
+
+// ScalarInt returns a rank-0 int tensor.
+func ScalarInt(v int64) *Tensor { return FromInts([]int64{v}) }
+
+// ScalarBool returns a rank-0 bool tensor.
+func ScalarBool(v bool) *Tensor { return FromBools([]bool{v}) }
+
+// Zeros returns a float tensor of zeros.
+func Zeros(shape ...int) *Tensor { return New(Float, shape...) }
+
+// Ones returns a float tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Full returns a float tensor filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(Float, shape...)
+	for i := range t.F {
+		t.F[i] = v
+	}
+	return t
+}
+
+// FullInt returns an int tensor filled with v.
+func FullInt(v int64, shape ...int) *Tensor {
+	t := New(Int, shape...)
+	for i := range t.I {
+		t.I[i] = v
+	}
+	return t
+}
+
+// ZerosLike returns a zero tensor with t's dtype and shape. Bool tensors get
+// all-false; string tensors get empty strings.
+func ZerosLike(t *Tensor) *Tensor { return New(t.dtype, t.shape...) }
+
+// OnesLike returns a one-filled tensor with t's dtype and shape (true for
+// bool). Strings are unsupported and panic.
+func OnesLike(t *Tensor) *Tensor {
+	out := New(t.dtype, t.shape...)
+	switch t.dtype {
+	case Float:
+		for i := range out.F {
+			out.F[i] = 1
+		}
+	case Int:
+		for i := range out.I {
+			out.I[i] = 1
+		}
+	case Bool:
+		for i := range out.B {
+			out.B[i] = true
+		}
+	default:
+		panic("tensor: OnesLike on string tensor")
+	}
+	return out
+}
+
+// Arange returns a 1-D int tensor [start, stop) step 1.
+func Arange(start, stop int64) *Tensor {
+	if stop < start {
+		stop = start
+	}
+	n := int(stop - start)
+	t := New(Int, n)
+	for i := 0; i < n; i++ {
+		t.I[i] = start + int64(i)
+	}
+	return t
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Tensor {
+	t := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		t.F[i*n+i] = 1
+	}
+	return t
+}
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns the dimensions (not aliased; safe to modify).
+func (t *Tensor) Shape() []int { return cloneShape(t.shape) }
+
+// ShapeRef returns the dimensions without copying; callers must not modify.
+func (t *Tensor) ShapeRef() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return NumElements(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumBytes returns the (approximate, for strings) storage footprint in
+// bytes, used by the device memory accounting.
+func (t *Tensor) NumBytes() int64 {
+	n := int64(t.Size())
+	switch t.dtype {
+	case Float, Int:
+		return n * 8
+	case Bool:
+		return n
+	case Str:
+		var b int64
+		for _, s := range t.S {
+			b += int64(len(s)) + 16
+		}
+		return b
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{dtype: t.dtype, shape: cloneShape(t.shape)}
+	switch t.dtype {
+	case Float:
+		out.F = append([]float64(nil), t.F...)
+	case Int:
+		out.I = append([]int64(nil), t.I...)
+	case Bool:
+		out.B = append([]bool(nil), t.B...)
+	case Str:
+		out.S = append([]string(nil), t.S...)
+	}
+	return out
+}
+
+// Reshape returns a view-copy with a new shape of equal element count. A
+// single -1 dimension is inferred.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	shape = cloneShape(shape)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				return nil, fmt.Errorf("tensor: multiple -1 dims in reshape %v", shape)
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || t.Size()%known != 0 {
+			return nil, fmt.Errorf("tensor: cannot infer dim for reshape of %v to %v", t.shape, shape)
+		}
+		shape[infer] = t.Size() / known
+	}
+	if NumElements(shape) != t.Size() {
+		return nil, fmt.Errorf("tensor: reshape %v -> %v changes element count", t.shape, shape)
+	}
+	out := t.Clone()
+	out.shape = shape
+	return out, nil
+}
+
+// MustReshape is Reshape, panicking on error (for statically-valid shapes).
+func (t *Tensor) MustReshape(shape ...int) *Tensor {
+	out, err := t.Reshape(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// offset converts multi-dim index to flat offset.
+func (t *Tensor) offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// At returns the float element at idx.
+func (t *Tensor) At(idx ...int) float64 { return t.F[t.offset(idx...)] }
+
+// SetAt sets the float element at idx.
+func (t *Tensor) SetAt(v float64, idx ...int) { t.F[t.offset(idx...)] = v }
+
+// IntAt returns the int element at idx.
+func (t *Tensor) IntAt(idx ...int) int64 { return t.I[t.offset(idx...)] }
+
+// BoolAt returns the bool element at idx.
+func (t *Tensor) BoolAt(idx ...int) bool { return t.B[t.offset(idx...)] }
+
+// ScalarValue returns the single float value of a size-1 tensor.
+func (t *Tensor) ScalarValue() float64 {
+	if t.Size() != 1 || t.dtype != Float {
+		panic(fmt.Sprintf("tensor: ScalarValue on %v%v", t.dtype, t.shape))
+	}
+	return t.F[0]
+}
+
+// ScalarIntValue returns the single int value of a size-1 tensor (casting
+// from float if needed).
+func (t *Tensor) ScalarIntValue() int64 {
+	if t.Size() != 1 {
+		panic(fmt.Sprintf("tensor: ScalarIntValue on shape %v", t.shape))
+	}
+	switch t.dtype {
+	case Int:
+		return t.I[0]
+	case Float:
+		return int64(t.F[0])
+	}
+	panic(fmt.Sprintf("tensor: ScalarIntValue on dtype %v", t.dtype))
+}
+
+// ScalarBoolValue returns the single bool value of a size-1 tensor.
+func (t *Tensor) ScalarBoolValue() bool {
+	if t.Size() != 1 || t.dtype != Bool {
+		panic(fmt.Sprintf("tensor: ScalarBoolValue on %v%v", t.dtype, t.shape))
+	}
+	return t.B[0]
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeEq reports whether two shape slices are equal.
+func ShapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact element-wise equality (shape, dtype, and values).
+func Equal(a, b *Tensor) bool {
+	if a.dtype != b.dtype || !SameShape(a, b) {
+		return false
+	}
+	switch a.dtype {
+	case Float:
+		for i := range a.F {
+			if a.F[i] != b.F[i] {
+				return false
+			}
+		}
+	case Int:
+		for i := range a.I {
+			if a.I[i] != b.I[i] {
+				return false
+			}
+		}
+	case Bool:
+		for i := range a.B {
+			if a.B[i] != b.B[i] {
+				return false
+			}
+		}
+	case Str:
+		for i := range a.S {
+			if a.S[i] != b.S[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllClose reports whether float tensors match within tol (abs difference).
+func AllClose(a, b *Tensor, tol float64) bool {
+	if a.dtype != Float || b.dtype != Float || !SameShape(a, b) {
+		return false
+	}
+	for i := range a.F {
+		d := a.F[i] - b.F[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact, bounded description of the tensor.
+func (t *Tensor) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v%v", t.dtype, t.shape)
+	const maxElems = 16
+	n := t.Size()
+	show := n
+	if show > maxElems {
+		show = maxElems
+	}
+	sb.WriteString("[")
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		switch t.dtype {
+		case Float:
+			fmt.Fprintf(&sb, "%.4g", t.F[i])
+		case Int:
+			fmt.Fprintf(&sb, "%d", t.I[i])
+		case Bool:
+			fmt.Fprintf(&sb, "%t", t.B[i])
+		case Str:
+			fmt.Fprintf(&sb, "%q", t.S[i])
+		}
+	}
+	if n > show {
+		fmt.Fprintf(&sb, " ... (%d more)", n-show)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// Cast converts t to the given dtype. Bool↔numeric uses 0/1; Str casts are
+// unsupported except Str→Str.
+func Cast(t *Tensor, to DType) (*Tensor, error) {
+	if t.dtype == to {
+		return t.Clone(), nil
+	}
+	out := New(to, t.shape...)
+	n := t.Size()
+	for i := 0; i < n; i++ {
+		var f float64
+		switch t.dtype {
+		case Float:
+			f = t.F[i]
+		case Int:
+			f = float64(t.I[i])
+		case Bool:
+			if t.B[i] {
+				f = 1
+			}
+		case Str:
+			return nil, fmt.Errorf("tensor: cannot cast string tensor to %v", to)
+		}
+		switch to {
+		case Float:
+			out.F[i] = f
+		case Int:
+			out.I[i] = int64(f)
+		case Bool:
+			out.B[i] = f != 0
+		case Str:
+			return nil, fmt.Errorf("tensor: cannot cast %v tensor to string", t.dtype)
+		}
+	}
+	return out, nil
+}

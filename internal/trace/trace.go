@@ -1,0 +1,184 @@
+// Package trace records per-stream kernel timelines, the instrumentation
+// behind Figure 13 of the paper (compute kernels overlapping D2H/H2D copy
+// kernels). Events can be rendered as an ASCII timeline or exported as
+// Chrome trace-event JSON.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one kernel execution on one stream.
+type Event struct {
+	Stream string
+	Name   string
+	Start  time.Duration // since tracer start
+	End    time.Duration
+}
+
+// Tracer collects events. The zero value is unusable; use New.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// New returns a tracer whose clock starts now.
+func New() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Record adds an event for the given wall-clock interval.
+func (t *Tracer) Record(stream, name string, start, end time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Stream: stream,
+		Name:   name,
+		Start:  start.Sub(t.start),
+		End:    end.Sub(t.start),
+	})
+}
+
+// Events returns a copy of all recorded events sorted by start time.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Event(nil), t.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Streams returns the distinct stream names, sorted.
+func (t *Tracer) Streams() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range t.Events() {
+		if !seen[e.Stream] {
+			seen[e.Stream] = true
+			out = append(out, e.Stream)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BusyTime returns total busy duration per stream.
+func (t *Tracer) BusyTime() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, e := range t.Events() {
+		out[e.Stream] += e.End - e.Start
+	}
+	return out
+}
+
+// OverlapTime returns the total time during which both streams were busy
+// simultaneously — the quantity Figure 13 visualizes (compute/copy overlap).
+func (t *Tracer) OverlapTime(streamA, streamB string) time.Duration {
+	var as, bs []Event
+	for _, e := range t.Events() {
+		switch e.Stream {
+		case streamA:
+			as = append(as, e)
+		case streamB:
+			bs = append(bs, e)
+		}
+	}
+	var total time.Duration
+	for _, a := range as {
+		for _, b := range bs {
+			lo := a.Start
+			if b.Start > lo {
+				lo = b.Start
+			}
+			hi := a.End
+			if b.End < hi {
+				hi = b.End
+			}
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// ASCII renders the timeline: one row per stream, columns are time buckets;
+// a filled cell means the stream was busy during that bucket. Mirrors the
+// visual structure of the paper's Figure 13.
+func (t *Tracer) ASCII(width int) string {
+	evs := t.Events()
+	if len(evs) == 0 {
+		return "(no events)\n"
+	}
+	var maxEnd time.Duration
+	for _, e := range evs {
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	bucket := maxEnd / time.Duration(width)
+	if bucket == 0 {
+		bucket = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %v total, one column = %v\n", maxEnd.Round(time.Microsecond), bucket.Round(time.Microsecond))
+	for _, s := range t.Streams() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range evs {
+			if e.Stream != s {
+				continue
+			}
+			lo := int(e.Start / bucket)
+			hi := int(e.End / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&sb, "%-20s |%s|\n", s, row)
+	}
+	return sb.String()
+}
+
+// chromeEvent is the Chrome trace-event JSON form.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  string  `json:"tid"`
+}
+
+// ChromeTrace serializes the events in Chrome trace-event format
+// (load in chrome://tracing or Perfetto).
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	var evs []chromeEvent
+	for _, e := range t.Events() {
+		evs = append(evs, chromeEvent{
+			Name: e.Name,
+			Cat:  "kernel",
+			Ph:   "X",
+			TS:   float64(e.Start) / float64(time.Microsecond),
+			Dur:  float64(e.End-e.Start) / float64(time.Microsecond),
+			PID:  1,
+			TID:  e.Stream,
+		})
+	}
+	return json.MarshalIndent(map[string]any{"traceEvents": evs}, "", " ")
+}
