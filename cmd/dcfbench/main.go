@@ -5,23 +5,65 @@
 //	dcfbench -exp fig11       # one experiment
 //	dcfbench -quick           # reduced sweeps (CI scale)
 //	dcfbench -exp fig13 -out fig13_timeline.txt
+//	dcfbench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn, ablations.
+// The -cpuprofile/-memprofile flags write pprof profiles covering the
+// selected experiments, so perf work on the figures needs no code edits:
+// go tool pprof cpu.pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	os.Exit(run1())
+}
+
+// run1 is main's body; returning the exit code (instead of calling os.Exit
+// inline) lets the deferred profile writers run on failure paths too.
+func run1() int {
 	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|all)")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	out := flag.String("out", "", "also write figure artifacts (fig13 timeline / chrome trace) to this path prefix")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	run := func(id string) error {
 		switch id {
@@ -87,8 +129,9 @@ func main() {
 		fmt.Printf("==== %s ====\n", id)
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
+	return 0
 }

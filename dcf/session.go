@@ -126,6 +126,12 @@ func (s *Session) RestoreVariables(path string) error {
 
 // Run executes the subgraph needed for the fetches and targets, returning
 // fetched values in order.
+//
+// Repeated Runs with the same fetches and targets reuse one cached
+// execution plan (the executor's dense per-node metadata: compact indices,
+// consumer edge lists, frame/window attributes), so steady-state steps pay
+// zero planning cost; adding nodes to the graph invalidates the cache
+// entry. See internal/exec/README.md for the executor's fast-path design.
 func (s *Session) Run(feeds Feeds, fetches []Tensor, targets ...Op) ([]*Value, error) {
 	if s.runOverhead > 0 {
 		time.Sleep(s.runOverhead)

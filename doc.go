@@ -7,4 +7,19 @@
 // The public API is package repro/dcf; DESIGN.md maps the paper's systems
 // and experiments to modules, and bench_test.go regenerates every table and
 // figure of the paper's evaluation.
+//
+// # Runtime performance knobs
+//
+// The executor hot path (internal/exec, see its README.md) is dense-indexed
+// and buffer-pooled. The knobs that matter when tuning throughput:
+//
+//   - SessionOptions.ParallelIterations (dcf) / per-loop
+//     parallel_iterations: the while-loop window, which also sizes each
+//     frame's iteration ring (default 32).
+//   - exec.DefaultParallelIterations, exec.Config.ParallelIterations: the
+//     same knob at the executor layer.
+//   - tensor.Alloc / tensor.Recycle / tensor.NewFromPool: the size-classed
+//     tensor buffer pool backing kernel outputs and executor recycling.
+//   - cmd/dcfbench -cpuprofile/-memprofile: pprof profiles over any figure
+//     experiment, for perf work without code edits.
 package repro

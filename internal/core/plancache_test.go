@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestPlanCacheReusedAcrossRuns asserts the fast path repeated steps take:
+// two Runs with the same signature must share one executor Plan (and hence
+// the dense node metadata built at plan time).
+func TestPlanCacheReusedAcrossRuns(t *testing.T) {
+	b := NewBuilder()
+	x := b.Placeholder("x")
+	y := b.Square(x)
+	fetches := []graph.Output{y}
+
+	s := NewSession(b)
+	p1, n1, err := s.planFor(fetches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1.0; i <= 3; i++ {
+		out, err := s.Run(map[string]*tensor.Tensor{"x": tensor.Scalar(i)}, fetches, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].ScalarValue() != i*i {
+			t.Fatalf("run %v: got %v", i, out[0])
+		}
+	}
+	p2, n2, err := s.planFor(fetches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("repeated Runs with one signature must reuse one cached Plan")
+	}
+	if n1 != n2 {
+		t.Fatalf("pruned node count changed across runs: %d vs %d", n1, n2)
+	}
+	if len(s.plans) != 1 {
+		t.Fatalf("plan cache holds %d entries, want 1", len(s.plans))
+	}
+
+	// A different signature builds (and caches) a second plan.
+	z := b.Neg(x)
+	if _, _, err := s.planFor([]graph.Output{z}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.plans) != 2 {
+		t.Fatalf("plan cache holds %d entries, want 2", len(s.plans))
+	}
+}
+
+// TestPlanCacheInvalidatedByGraphGrowth asserts that adding nodes (e.g. a
+// later Gradients call) does not serve a stale pruned plan.
+func TestPlanCacheInvalidatedByGraphGrowth(t *testing.T) {
+	b := NewBuilder()
+	x := b.Const(tensor.Scalar(2))
+	y := b.Square(x)
+	s := NewSession(b)
+	p1, _, err := s.planFor([]graph.Output{y}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Neg(x) // grow the graph
+	p2, _, err := s.planFor([]graph.Output{y}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("graph growth must invalidate the cached plan signature")
+	}
+}

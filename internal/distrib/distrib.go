@@ -56,6 +56,13 @@ type Cluster struct {
 	res     *partition.Result
 	fetches []graph.Output
 
+	// fetchDev routes each fetch to the partition owning its node; plans
+	// holds one cached executor plan per device (with the partition's
+	// fetches baked in), built once at construction so every Run takes
+	// the dense fast path.
+	fetchDev []string
+	plans    map[string]*exec.Plan
+
 	sessRes *ops.Resources
 	rng     *tensor.RNG
 
@@ -81,13 +88,33 @@ func NewCluster(b *core.Builder, fetches []graph.Output, targets []*graph.Node, 
 	if err := partition.Validate(res); err != nil {
 		return nil, err
 	}
+	fetchDev := make([]string, len(fetches))
+	perDev := map[string][]graph.Output{}
+	for i, f := range fetches {
+		if f.Node == nil {
+			return nil, fmt.Errorf("distrib: invalid fetch %d", i)
+		}
+		dev := f.Node.Device()
+		fetchDev[i] = dev
+		perDev[dev] = append(perDev[dev], f)
+	}
+	plans := make(map[string]*exec.Plan, len(res.Devices))
+	for _, dev := range res.Devices {
+		p, err := exec.NewPlan(b.G, res.Parts[dev], perDev[dev])
+		if err != nil {
+			return nil, fmt.Errorf("distrib: partition %q: %w", dev, err)
+		}
+		plans[dev] = p
+	}
 	return &Cluster{
-		b:       b,
-		opts:    opts,
-		res:     res,
-		fetches: fetches,
-		sessRes: ops.NewResources(),
-		rng:     tensor.NewRNG(7),
+		b:        b,
+		opts:     opts,
+		res:      res,
+		fetches:  fetches,
+		fetchDev: fetchDev,
+		plans:    plans,
+		sessRes:  ops.NewResources(),
+		rng:      tensor.NewRNG(7),
 	}, nil
 }
 
@@ -123,18 +150,6 @@ func (c *Cluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error)
 	base := rendezvous.NewLocal(c.opts.Latency, c.opts.Bandwidth)
 	rv := rendezvous.Scoped(base, fmt.Sprintf("step%d", stepID))
 
-	// Route each fetch to the partition owning its node.
-	fetchDev := make([]string, len(fetches))
-	perDev := map[string][]graph.Output{}
-	for i, f := range fetches {
-		if f.Node == nil {
-			return nil, fmt.Errorf("distrib: invalid fetch %d", i)
-		}
-		dev := f.Node.Device()
-		fetchDev[i] = dev
-		perDev[dev] = append(perDev[dev], f)
-	}
-
 	type devResult struct {
 		dev  string
 		vals []ops.Value
@@ -147,11 +162,10 @@ func (c *Cluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error)
 		wg.Add(1)
 		go func(dev string) {
 			defer wg.Done()
-			ex, err := exec.New(exec.Config{
-				Graph:              c.b.G,
-				Nodes:              c.res.Parts[dev],
+			// The cached plan fixes Nodes and Fetches; only the
+			// per-step state varies.
+			ex, err := exec.NewFromPlan(c.plans[dev], exec.Config{
 				Feeds:              feeds,
-				Fetches:            perDev[dev],
 				StepRes:            stepRes,
 				SessionRes:         c.sessRes,
 				RNG:                tensor.NewRNG(uint64(stepID)*1e6 + 17),
@@ -186,7 +200,7 @@ func (c *Cluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error)
 	// Reassemble fetches in caller order.
 	idx := map[string]int{}
 	out := make([]*tensor.Tensor, len(fetches))
-	for i, dev := range fetchDev {
+	for i, dev := range c.fetchDev {
 		vals := collected[dev]
 		j := idx[dev]
 		idx[dev] = j + 1

@@ -136,7 +136,7 @@ func TestStatefulOpsInsideLoopRunPerIteration(t *testing.T) {
 }
 
 func TestFrameTagsDistinguishIterations(t *testing.T) {
-	f := newFrame("loop", newFrame("root", nil, 0, 1), 2, 8)
+	f := newFrame("loop", 0, newFrame("root", -1, nil, 0, 1), 2, 8)
 	if f.tag(3) != "/root:2/loop:3" {
 		t.Fatalf("tag %q", f.tag(3))
 	}

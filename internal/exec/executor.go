@@ -13,6 +13,11 @@ import (
 // in flight concurrently. The paper reports 32 as a generally good limit.
 const DefaultParallelIterations = 32
 
+// maxEventsBuffer caps the completion-channel buffer. The buffer is sized
+// from the plan (nodes x parallel window) so tiny graphs do not over-allocate
+// and huge partitions do not stall kernel goroutines on a full channel.
+const maxEventsBuffer = 1 << 16
+
 // Config describes one execution (one "step") over a set of nodes.
 type Config struct {
 	// Graph is the graph the nodes belong to.
@@ -45,20 +50,102 @@ type Config struct {
 	ParallelIterations int
 }
 
-// Plan holds the static, reusable part of an execution: partition
-// membership, consumer edge lists, fetch slots, and frame Enter counts.
-// Sessions cache plans per run signature (like TensorFlow's per-signature
-// executor cache) so repeated Runs skip this construction.
+// opKind discriminates the ops whose semantics the executor implements
+// itself; every other op is kOther and runs through its registered kernel.
+type opKind uint8
+
+const (
+	kOther opKind = iota
+	kMerge
+	kSwitch
+	kEnter
+	kExit
+	kNextIteration
+	kSend
+	kRecv
+)
+
+func kindOf(op string) opKind {
+	switch op {
+	case "Merge":
+		return kMerge
+	case "Switch":
+		return kSwitch
+	case "Enter":
+		return kEnter
+	case "Exit":
+		return kExit
+	case "NextIteration":
+		return kNextIteration
+	case "Send":
+		return kSend
+	case "Recv":
+		return kRecv
+	}
+	return kOther
+}
+
+// consumerEdge is one data edge, in dense plan coordinates.
+type consumerEdge struct {
+	idx   int32 // plan index of the consuming node
+	input int32 // input slot at the consumer
+}
+
+// nodeInfo is the immutable per-node metadata the hot path reads instead of
+// hashing maps: op kind, arities, consumer edge lists, fetch slots, frame
+// attributes, and the static rendezvous key, all precomputed at plan build.
+type nodeInfo struct {
+	node      *graph.Node
+	kind      opKind
+	inline    bool // control primitive: runs on the dispatcher
+	pass      bool // kernel is a pure pass-through (Identity, LoopCond, ...)
+	fresh     bool // kernel returns exclusively-owned outputs (OpDef.Fresh)
+	expanding bool // output size unbounded by input size: never inlined
+	metadata  bool // reads only input shapes: always inline-cheap
+	// recycle permits the executor to return owned input buffers to the
+	// tensor pool after the node runs (fresh kernels and the control
+	// primitives, which retain nothing; Send publishes its input and is
+	// excluded).
+	recycle bool
+
+	numIn  int32
+	numCtl int32
+	numOut int32
+	inOff  int32 // offset of this node's input span in the iteration arena
+
+	consumers    [][]consumerEdge // per output port
+	ctlConsumers []int32
+	fetchSlot    []int32 // per port, -1 if unfetched; nil when no port is fetched
+
+	frameID      int32 // Enter: dense id of the target frame; else -1
+	isConstEnter bool
+	parallel     int    // Enter: parallel_iterations attribute
+	sendKey      string // Send/Recv: static rendezvous key
+
+	def *ops.OpDef // nil for ops unknown at plan time (errors at run time)
+}
+
+// frameMeta is the static description of one loop frame (by frame_name).
+type frameMeta struct {
+	name       string
+	enterCount int
+}
+
+// Plan holds the static, reusable part of an execution. Every partition
+// node gets a dense index 0..N-1 at plan build; all per-node metadata lives
+// in one flat []nodeInfo indexed by it, so propagation and scheduling never
+// hash. Sessions cache plans per run signature (like TensorFlow's
+// per-signature executor cache) so repeated Runs skip this construction.
 type Plan struct {
-	graph            *graph.Graph
-	nodes            []*graph.Node
-	fetches          []graph.Output
-	inPartition      map[int]bool
-	dataConsumers    map[int][][]graph.ConsumerEdge
-	controlConsumers map[int][]*graph.Node
-	enterCount       map[string]int
-	fetchSet         map[graph.Output]int
-	sources          []*graph.Node
+	graph   *graph.Graph
+	nodes   []*graph.Node
+	fetches []graph.Output
+
+	infos    []nodeInfo
+	planIdx  []int32 // graph node id -> plan index (-1 outside the partition)
+	frames   []frameMeta
+	sources  []int32
+	arenaLen int32 // total data-input slots across all nodes
 }
 
 // NewPlan validates and precomputes the static execution structures for a
@@ -70,52 +157,93 @@ func NewPlan(g *graph.Graph, nodes []*graph.Node, fetches []graph.Output) (*Plan
 	if nodes == nil {
 		nodes = g.Nodes()
 	}
-	p := &Plan{
-		graph:            g,
-		nodes:            nodes,
-		fetches:          fetches,
-		inPartition:      map[int]bool{},
-		dataConsumers:    map[int][][]graph.ConsumerEdge{},
-		controlConsumers: map[int][]*graph.Node{},
-		enterCount:       map[string]int{},
-		fetchSet:         map[graph.Output]int{},
+	p := &Plan{graph: g, nodes: nodes, fetches: fetches}
+	p.planIdx = make([]int32, g.NumNodes())
+	for i := range p.planIdx {
+		p.planIdx[i] = -1
 	}
-	for _, n := range nodes {
-		p.inPartition[n.ID()] = true
+	p.infos = make([]nodeInfo, len(nodes))
+	for i, n := range nodes {
+		p.planIdx[n.ID()] = int32(i)
 	}
-	for _, n := range nodes {
-		for i, in := range n.Inputs() {
-			if !p.inPartition[in.Node.ID()] {
-				return nil, fmt.Errorf("exec: node %s input %d (%s) is outside the partition", n.Name(), i, in)
-			}
-			lst := p.dataConsumers[in.Node.ID()]
-			for len(lst) <= in.Index {
-				lst = append(lst, nil)
-			}
-			lst[in.Index] = append(lst[in.Index], graph.ConsumerEdge{Node: n, Input: i})
-			p.dataConsumers[in.Node.ID()] = lst
+	frameIDs := map[string]int32{}
+	var arena int32
+	for i, n := range nodes {
+		info := &p.infos[i]
+		op := n.Op()
+		info.node = n
+		info.kind = kindOf(op)
+		info.inline = inlineOps[op]
+		info.pass = passOps[op]
+		info.expanding = outputExpandingOps[op]
+		info.metadata = metadataOps[op]
+		info.numIn = int32(n.NumInputs())
+		info.numCtl = int32(n.NumControlInputs())
+		info.numOut = int32(n.NumOutputs())
+		info.inOff = arena
+		arena += info.numIn
+		info.consumers = make([][]consumerEdge, info.numOut)
+		info.frameID = -1
+		if def, err := ops.Get(op); err == nil {
+			info.def = def
+			info.fresh = def.Fresh
 		}
-		for _, c := range n.ControlInputs() {
-			if !p.inPartition[c.ID()] {
+		info.recycle = info.fresh || info.pass ||
+			(info.kind != kOther && info.kind != kSend && info.kind != kRecv)
+		switch info.kind {
+		case kEnter:
+			name := n.AttrString("frame_name")
+			id, ok := frameIDs[name]
+			if !ok {
+				id = int32(len(p.frames))
+				frameIDs[name] = id
+				p.frames = append(p.frames, frameMeta{name: name})
+			}
+			p.frames[id].enterCount++
+			info.frameID = id
+			info.isConstEnter = n.AttrBool("is_constant")
+			info.parallel = n.AttrInt("parallel_iterations")
+		case kSend, kRecv:
+			info.sendKey = n.AttrString(SendKeyAttr)
+		}
+		if info.numIn == 0 && info.numCtl == 0 {
+			p.sources = append(p.sources, int32(i))
+		}
+	}
+	p.arenaLen = arena
+	for i, n := range nodes {
+		for j, in := range n.InputsRef() {
+			pi := p.planIdx[in.Node.ID()]
+			if pi < 0 {
+				return nil, fmt.Errorf("exec: node %s input %d (%s) is outside the partition", n.Name(), j, in)
+			}
+			p.infos[pi].consumers[in.Index] = append(p.infos[pi].consumers[in.Index],
+				consumerEdge{idx: int32(i), input: int32(j)})
+		}
+		for _, c := range n.ControlInputsRef() {
+			pi := p.planIdx[c.ID()]
+			if pi < 0 {
 				return nil, fmt.Errorf("exec: node %s control input %s is outside the partition", n.Name(), c.Name())
 			}
-			p.controlConsumers[c.ID()] = append(p.controlConsumers[c.ID()], n)
-		}
-		if n.Op() == "Enter" {
-			p.enterCount[n.AttrString("frame_name")]++
-		}
-		if n.NumInputs() == 0 && len(n.ControlInputs()) == 0 {
-			p.sources = append(p.sources, n)
+			p.infos[pi].ctlConsumers = append(p.infos[pi].ctlConsumers, int32(i))
 		}
 	}
 	for i, f := range fetches {
 		if !f.Valid() {
 			return nil, fmt.Errorf("exec: invalid fetch %v", f)
 		}
-		if !p.inPartition[f.Node.ID()] {
+		pi := p.planIdx[f.Node.ID()]
+		if pi < 0 {
 			return nil, fmt.Errorf("exec: fetch %s outside the partition", f)
 		}
-		p.fetchSet[f] = i
+		info := &p.infos[pi]
+		if info.fetchSlot == nil {
+			info.fetchSlot = make([]int32, info.numOut)
+			for j := range info.fetchSlot {
+				info.fetchSlot[j] = -1
+			}
+		}
+		info.fetchSlot[f.Index] = int32(i)
 	}
 	return p, nil
 }
@@ -148,27 +276,50 @@ type Executor struct {
 	env *stepEnv
 
 	numKernels int
+
+	// runners/mems are per-plan-index device bindings resolved once at
+	// construction (nil slices when the config has no custom providers).
+	runners []Runner
+	mems    []ops.DeviceMem
+
+	// iterFree recycles iteration state: a retired iteration's dense node
+	// slice and input arena go back here and are reused (reset lazily via
+	// generation counters) by the next iteration that starts.
+	iterFree []*iterState
+	iterGen  uint32
 }
 
 // doneMsg reports a finished node execution back to the dispatcher.
 type doneMsg struct {
-	node *graph.Node
+	idx  int32
 	fs   *frameState
 	iter int
 	outs []Token
 	err  error
 }
 
+// childKey identifies a child frame instance: which loop (by dense frame
+// id) entered from which parent iteration.
+type childKey struct {
+	frameID int32
+	iter    int32
+}
+
 // frameState is a dynamically created execution context: one per (loop,
 // enclosing iteration) instance (§4.1). The root frame has one iteration.
 type frameState struct {
 	name       string
+	frameID    int32
 	parent     *frameState
 	parentIter int
 	parallel   int
 	tagPrefix  string
 
-	iterations map[int]*iterState
+	// ring holds the live iterations: iteration i is at ring[i%parallel].
+	// The parallel-iterations window bounds deliveries to
+	// [doneFrontier, doneFrontier+parallel), so the ring is exact.
+	ring []*iterState
+
 	// constants holds loop-invariant tokens (is_constant Enters),
 	// re-delivered into every iteration when it starts.
 	constants []constEntry
@@ -176,8 +327,8 @@ type frameState struct {
 	doneFrontier int
 	maxActivated int
 	// deferred holds NextIteration deliveries beyond the parallel window.
-	deferred map[int][]deferredDelivery
-	children map[string]*frameState
+	deferred []deferredBucket
+	children map[childKey]*frameState
 	// activity counts executions in flight in this frame plus active
 	// child frames; used to retire iterations of the parent.
 	activity int
@@ -189,41 +340,60 @@ type frameState struct {
 	// the live exit); when the frame finishes, exits that never fired
 	// live propagate a single dead token to the parent — mirroring
 	// TensorFlow's dead_exits handling.
-	deadExits []*graph.Node
-	liveExits map[int]bool
+	deadExits []int32
+	liveExits map[int32]bool
 	finalized bool
 }
 
 type constEntry struct {
-	enter *graph.Node
-	tok   Token
+	idx int32
+	tok Token
 }
 
 type deferredDelivery struct {
-	from *graph.Node
+	from int32
 	tok  Token
 }
 
-// iterState holds one iteration's per-node input bookkeeping.
+// deferredBucket collects the deferred deliveries for one target iteration.
+// A frame rarely holds more than one pending target, so a small slice beats
+// a map here.
+type deferredBucket struct {
+	iter  int
+	items []deferredDelivery
+}
+
+// iterState holds one iteration's per-node input bookkeeping in dense plan
+// coordinates: nodes[i] is the state of plan node i, and arena is one flat
+// token buffer that all nodes' input spans share (node i's inputs live at
+// arena[inOff:inOff+numIn]). Both are recycled across iterations; gen
+// mismatches mark state from a previous occupant, reset lazily on first
+// touch.
 type iterState struct {
-	iter           int
-	nodes          map[int]*nodeState
+	iter int
+	gen  uint32
+	tag  string // memoized frame tag, built on first Send/Recv
+
+	nodes []nodeState
+	arena []Token
+
 	outstanding    int // executions in flight for this iteration
 	childrenActive int // child frames of this iteration with activity
 }
 
 type nodeState struct {
-	inputs      []Token
-	arrivedData int
-	deadData    int
+	gen         uint32
+	arrivedData int32
+	deadData    int32
+	arrivedCtl  int32
+	deadCtl     int32
 	liveData    bool
-	arrivedCtl  int
-	deadCtl     int
 	scheduled   bool
 }
 
 // tag returns the dynamic tag of (frame, iter), e.g. "/while:3/inner:0";
-// it is what makes rendezvous keys unique per iteration (§3).
+// it is what makes rendezvous keys unique per iteration (§3). The hot path
+// uses the per-iteration memoized copy (iterTag) instead of rebuilding.
 func (f *frameState) tag(iter int) string {
 	return f.tagPrefix + "/" + f.name + ":" + strconv.Itoa(iter)
 }
@@ -243,15 +413,38 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 	cfg.Graph = plan.graph
 	cfg.Nodes = plan.nodes
 	cfg.Fetches = plan.fetches
+	par := cfg.ParallelIterations
+	if par <= 0 {
+		par = DefaultParallelIterations
+	}
+	evBuf := len(plan.nodes) * par
+	if evBuf > maxEventsBuffer {
+		evBuf = maxEventsBuffer
+	}
+	if evBuf < 1 {
+		evBuf = 1
+	}
 	ex := &Executor{
 		cfg:    cfg,
 		plan:   plan,
-		events: make(chan doneMsg, 1024),
+		events: make(chan doneMsg, evBuf),
 		quit:   make(chan struct{}),
 	}
 	ex.fetched = make([]Token, len(cfg.Fetches))
 	ex.fetchOK = make([]bool, len(cfg.Fetches))
-	ex.root = newFrame("root", nil, 0, 1)
+	ex.root = newFrame("root", -1, nil, 0, 1)
+	if cfg.Runner != nil {
+		ex.runners = make([]Runner, len(plan.infos))
+		for i := range plan.infos {
+			ex.runners[i] = cfg.Runner(plan.infos[i].node.Device())
+		}
+	}
+	if cfg.Mem != nil {
+		ex.mems = make([]ops.DeviceMem, len(plan.infos))
+		for i := range plan.infos {
+			ex.mems[i] = cfg.Mem(plan.infos[i].node.Device())
+		}
+	}
 	step := cfg.StepRes
 	if step == nil {
 		step = ops.NewResources()
@@ -268,16 +461,16 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 	return ex, nil
 }
 
-func newFrame(name string, parent *frameState, parentIter, parallel int) *frameState {
+func newFrame(name string, frameID int32, parent *frameState, parentIter, parallel int) *frameState {
 	f := &frameState{
 		name:       name,
+		frameID:    frameID,
 		parent:     parent,
 		parentIter: parentIter,
 		parallel:   parallel,
-		iterations: map[int]*iterState{},
-		deferred:   map[int][]deferredDelivery{},
-		children:   map[string]*frameState{},
-		liveExits:  map[int]bool{},
+		ring:       make([]*iterState, parallel),
+		children:   map[childKey]*frameState{},
+		liveExits:  map[int32]bool{},
 	}
 	if parent != nil {
 		f.tagPrefix = parent.tag(parentIter)
@@ -304,8 +497,8 @@ func (e *stepEnv) RNG() *tensor.RNG           { return e.rng }
 // Run executes the partition to completion and returns the fetched values.
 func (ex *Executor) Run() ([]ops.Value, error) {
 	it := ex.iteration(ex.root, 0)
-	for _, n := range ex.plan.sources {
-		ex.schedule(n, ex.root, it)
+	for _, idx := range ex.plan.sources {
+		ex.schedule(idx, ex.root, it)
 	}
 	for ex.outstanding > 0 {
 		// Inline-eligible executions (control-flow primitives: pure
@@ -317,8 +510,8 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 		if k := len(ex.inlineQ); k > 0 {
 			item := ex.inlineQ[k-1]
 			ex.inlineQ = ex.inlineQ[:k-1]
-			outs, err := ex.runNode(item.node, item.fs, item.iter, item.inputs, item.deadCtl)
-			msg = doneMsg{node: item.node, fs: item.fs, iter: item.iter, outs: outs, err: err}
+			outs, err := ex.runNode(item.idx, item.inputs, item.tag, item.deadCtl)
+			msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter, outs: outs, err: err}
 		} else {
 			msg = <-ex.events
 		}
@@ -327,14 +520,14 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 			close(ex.quit)
 		}
 		if msg.err == nil && ex.firstErr == nil {
-			ex.propagate(msg.node, msg.fs, msg.iter, msg.outs)
+			ex.propagate(msg.idx, msg.fs, msg.iter, msg.outs)
 		}
 		// Retire the execution after propagation so counts never dip
 		// to zero while successors are being scheduled. Frontier
 		// advance runs before the activity decrement so deferred
 		// iterations are released before the frame can finalize.
 		ex.outstanding--
-		if mit, ok := msg.fs.iterations[msg.iter]; ok {
+		if mit := lookupIter(msg.fs, msg.iter); mit != nil {
 			mit.outstanding--
 		}
 		if ex.firstErr == nil {
@@ -363,49 +556,102 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 // NumKernels reports how many node executions ran (for tests/stats).
 func (ex *Executor) NumKernels() int { return ex.numKernels }
 
+// lookupIter returns iteration i of the frame if it is live, else nil.
+func lookupIter(f *frameState, i int) *iterState {
+	it := f.ring[i%len(f.ring)]
+	if it != nil && it.iter == i {
+		return it
+	}
+	return nil
+}
+
+// newIterState takes an iteration shell from the free list (or allocates
+// the first few) and stamps a fresh generation so all recycled per-node
+// state reads as untouched.
+func (ex *Executor) newIterState(i int) *iterState {
+	ex.iterGen++
+	var it *iterState
+	if k := len(ex.iterFree); k > 0 {
+		it = ex.iterFree[k-1]
+		ex.iterFree = ex.iterFree[:k-1]
+	} else {
+		it = &iterState{
+			nodes: make([]nodeState, len(ex.plan.infos)),
+			arena: make([]Token, ex.plan.arenaLen),
+		}
+	}
+	it.iter = i
+	it.gen = ex.iterGen
+	it.tag = ""
+	it.outstanding = 0
+	it.childrenActive = 0
+	return it
+}
+
 // iteration returns (creating if needed) an iteration; creation replays
 // loop constants into it.
 func (ex *Executor) iteration(f *frameState, i int) *iterState {
-	if it, ok := f.iterations[i]; ok {
-		return it
+	slot := i % len(f.ring)
+	if it := f.ring[slot]; it != nil {
+		if it.iter == i {
+			return it
+		}
+		// The window invariant (deliveries only target iterations in
+		// [doneFrontier, doneFrontier+parallel)) makes ring slots exact;
+		// a collision means a token targeted a retired or out-of-window
+		// iteration.
+		panic(fmt.Sprintf("exec: internal: iteration %d of frame %q collides with live iteration %d (window [%d,%d))",
+			i, f.name, it.iter, f.doneFrontier, f.doneFrontier+f.parallel))
 	}
-	it := &iterState{iter: i, nodes: map[int]*nodeState{}}
-	f.iterations[i] = it
+	it := ex.newIterState(i)
+	f.ring[slot] = it
 	if i > f.maxActivated {
 		f.maxActivated = i
 	}
 	for _, ce := range f.constants {
-		ex.deliverOutputs(ce.enter, f, i, []Token{ce.tok})
+		ex.deliverSingle(ce.idx, f, i, ce.tok)
 	}
 	return it
 }
 
-func childKey(name string, iter int) string { return name + "#" + strconv.Itoa(iter) }
+// iterTag returns the memoized dynamic tag of an iteration (built once per
+// iteration instead of per delivery).
+func (ex *Executor) iterTag(fs *frameState, it *iterState) string {
+	if it.tag == "" {
+		it.tag = fs.tag(it.iter)
+	}
+	return it.tag
+}
 
 // childFrame returns (creating if needed) the child frame an Enter targets.
-func (ex *Executor) childFrame(f *frameState, enter *graph.Node, iter int) *frameState {
-	name := enter.AttrString("frame_name")
-	key := childKey(name, iter)
+func (ex *Executor) childFrame(f *frameState, info *nodeInfo, iter int) *frameState {
+	key := childKey{frameID: info.frameID, iter: int32(iter)}
 	if c, ok := f.children[key]; ok {
 		return c
 	}
-	par := enter.AttrInt("parallel_iterations")
+	par := info.parallel
 	if par <= 0 {
 		par = ex.cfg.ParallelIterations
 	}
 	if par <= 0 {
 		par = DefaultParallelIterations
 	}
-	c := newFrame(name, f, iter, par)
+	c := newFrame(ex.plan.frames[info.frameID].name, info.frameID, f, iter, par)
 	f.children[key] = c
 	return c
 }
 
-func (it *iterState) state(n *graph.Node) *nodeState {
-	ns, ok := it.nodes[n.ID()]
-	if !ok {
-		ns = &nodeState{inputs: make([]Token, n.NumInputs())}
-		it.nodes[n.ID()] = ns
+// nstate returns node idx's state in the iteration, lazily resetting state
+// left over from a previous occupant of the recycled slot.
+func (ex *Executor) nstate(it *iterState, idx int32) *nodeState {
+	ns := &it.nodes[idx]
+	if ns.gen != it.gen {
+		*ns = nodeState{gen: it.gen}
+		info := &ex.plan.infos[idx]
+		span := it.arena[info.inOff : info.inOff+info.numIn]
+		for j := range span {
+			span[j] = Token{}
+		}
 	}
 	return ns
 }
@@ -416,8 +662,12 @@ func (it *iterState) state(n *graph.Node) *nodeState {
 func (ex *Executor) frameActivityUp(fs *frameState) {
 	fs.activity++
 	if fs.activity == 1 && fs.parent != nil {
-		pit := ex.iteration(fs.parent, fs.parentIter)
-		pit.childrenActive++
+		// A parent iteration below the frontier has already retired; it
+		// needs no child accounting (and must not be resurrected).
+		if fs.parentIter >= fs.parent.doneFrontier {
+			pit := ex.iteration(fs.parent, fs.parentIter)
+			pit.childrenActive++
+		}
 		ex.frameActivityUp(fs.parent)
 	}
 }
@@ -430,16 +680,16 @@ func (ex *Executor) frameActivityDown(fs *frameState) {
 	// The frame has drained. If all of its Enters have executed, it is
 	// finished for good: propagate dead tokens for exits that never
 	// fired live (loops on untaken branches), exactly once.
-	if ex.firstErr == nil && !fs.finalized && fs.entersDone >= ex.plan.enterCount[fs.name] {
+	if ex.firstErr == nil && !fs.finalized && fs.entersDone >= ex.plan.frames[fs.frameID].enterCount {
 		fs.finalized = true
-		for _, n := range fs.deadExits {
-			if fs.liveExits[n.ID()] {
+		for _, idx := range fs.deadExits {
+			if fs.liveExits[idx] {
 				continue
 			}
-			ex.deliverOutputs(n, fs.parent, fs.parentIter, []Token{{Dead: true}})
+			ex.deliverSingle(idx, fs.parent, fs.parentIter, Token{Dead: true})
 		}
 	}
-	if pit, ok := fs.parent.iterations[fs.parentIter]; ok {
+	if pit := lookupIter(fs.parent, fs.parentIter); pit != nil {
 		pit.childrenActive--
 	}
 	if ex.firstErr == nil {
@@ -450,26 +700,33 @@ func (ex *Executor) frameActivityDown(fs *frameState) {
 
 // deliverData records a data token arrival and schedules the consumer if
 // ready.
-func (ex *Executor) deliverData(ce graph.ConsumerEdge, fs *frameState, iter int, tok Token) {
+func (ex *Executor) deliverData(ce consumerEdge, fs *frameState, iter int, tok Token) {
 	it := ex.iteration(fs, iter)
-	ns := it.state(ce.Node)
+	ns := ex.nstate(it, ce.idx)
 	if ns.scheduled {
-		return // e.g. a Merge that already fired on its first live input
+		// e.g. a Merge that already fired on its first live input; the
+		// dropped token's buffer (if exclusively ours) goes back to the
+		// pool.
+		if tok.Owned && tok.Val.T != nil {
+			tensor.Recycle(tok.Val.T)
+		}
+		return
 	}
-	ns.inputs[ce.Input] = tok
+	info := &ex.plan.infos[ce.idx]
+	it.arena[info.inOff+ce.input] = tok
 	ns.arrivedData++
 	if tok.Dead {
 		ns.deadData++
 	} else {
 		ns.liveData = true
 	}
-	ex.maybeSchedule(ce.Node, fs, it)
+	ex.maybeSchedule(ce.idx, fs, it)
 }
 
 // deliverControl records a control-edge arrival.
-func (ex *Executor) deliverControl(n *graph.Node, fs *frameState, iter int, dead bool) {
+func (ex *Executor) deliverControl(idx int32, fs *frameState, iter int, dead bool) {
 	it := ex.iteration(fs, iter)
-	ns := it.state(n)
+	ns := ex.nstate(it, idx)
 	if ns.scheduled {
 		return
 	}
@@ -477,51 +734,62 @@ func (ex *Executor) deliverControl(n *graph.Node, fs *frameState, iter int, dead
 	if dead {
 		ns.deadCtl++
 	}
-	ex.maybeSchedule(n, fs, it)
+	ex.maybeSchedule(idx, fs, it)
 }
 
 // maybeSchedule applies the readiness rules: Merge is ready on its first
 // live data input (or all-dead); every other op waits for all inputs.
-func (ex *Executor) maybeSchedule(n *graph.Node, fs *frameState, it *iterState) {
-	ns := it.state(n)
+func (ex *Executor) maybeSchedule(idx int32, fs *frameState, it *iterState) {
+	ns := ex.nstate(it, idx)
 	if ns.scheduled {
 		return
 	}
-	if ns.arrivedCtl < len(n.ControlInputs()) {
+	info := &ex.plan.infos[idx]
+	if ns.arrivedCtl < info.numCtl {
 		return
 	}
-	if n.Op() == "Merge" {
-		if !ns.liveData && ns.deadData < n.NumInputs() {
+	if info.kind == kMerge {
+		if !ns.liveData && ns.deadData < info.numIn {
 			return
 		}
-	} else if ns.arrivedData < n.NumInputs() {
+	} else if ns.arrivedData < info.numIn {
 		return
 	}
-	ex.schedule(n, fs, it)
+	ex.schedule(idx, fs, it)
 }
 
-// schedule queues a node execution on its own goroutine.
-func (ex *Executor) schedule(n *graph.Node, fs *frameState, it *iterState) {
-	ns := it.state(n)
+// schedule queues a node execution on its own goroutine (or the dispatcher
+// inline queue for control primitives and dead skips).
+func (ex *Executor) schedule(idx int32, fs *frameState, it *iterState) {
+	info := &ex.plan.infos[idx]
+	ns := ex.nstate(it, idx)
 	ns.scheduled = true
 	ex.outstanding++
 	it.outstanding++
 	ex.frameActivityUp(fs)
 	ex.numKernels++
 	iter := it.iter
-	inputs := append([]Token(nil), ns.inputs...)
+	// The arena span is frozen once scheduled (deliveries check
+	// ns.scheduled) and the iteration cannot be recycled while this
+	// execution is outstanding, so kernels may read it without a copy.
+	end := info.inOff + info.numIn
+	inputs := it.arena[info.inOff:end:end]
 	deadCtl := ns.deadCtl > 0
+	var tag string
+	if info.kind == kSend || info.kind == kRecv {
+		tag = ex.iterTag(fs, it)
+	}
 	// Dead executions skip their kernels entirely (Fig. 5's propagation
 	// rule), so they are inline-eligible for every op except Send, whose
 	// dead-signal publication may touch the network.
-	dead := deadCtl || (ns.deadData > 0 && n.Op() != "Merge")
-	if inlineOps[n.Op()] || (dead && n.Op() != "Send") {
-		ex.inlineQ = append(ex.inlineQ, inlineItem{node: n, fs: fs, iter: iter, inputs: inputs, deadCtl: deadCtl})
+	dead := deadCtl || (ns.deadData > 0 && info.kind != kMerge)
+	if info.inline || (dead && info.kind != kSend) || ex.cheapInline(idx, info, inputs) {
+		ex.inlineQ = append(ex.inlineQ, inlineItem{idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl})
 		return
 	}
 	go func() {
-		outs, err := ex.runNode(n, fs, iter, inputs, deadCtl)
-		ex.events <- doneMsg{node: n, fs: fs, iter: iter, outs: outs, err: err}
+		outs, err := ex.runNode(idx, inputs, tag, deadCtl)
+		ex.events <- doneMsg{idx: idx, fs: fs, iter: iter, outs: outs, err: err}
 	}()
 }
 
@@ -532,50 +800,157 @@ var inlineOps = map[string]bool{
 	"NextIteration": true, "LoopCond": true, "Identity": true, "NoOp": true,
 }
 
+// smallKernelMaxElems bounds the total input elements of a kernel the
+// dispatcher will run inline instead of paying a goroutine round trip
+// (TensorFlow's inexpensive-kernel inlining). Kernels above the bound, on
+// custom runners, with device memory attached, or that may block (Send,
+// Recv) keep their own goroutines so compute retains its parallelism.
+const smallKernelMaxElems = 1024
+
+// outputExpandingOps can materialize outputs much larger than their inputs
+// (shape/scalar in, tensor out), so input size says nothing about their
+// cost; they are never dispatcher-inlined.
+var outputExpandingOps = map[string]bool{
+	"RandomUniform": true, "RandomNormal": true, "Fill": true,
+	"BroadcastTo": true, "Tile": true, "OneHot": true,
+	"TensorArrayStack": true, "StackPop": true, "VarRead": true,
+	"GatherGrad": true, "SliceAxisGrad": true, "SliceRowsGrad": true,
+	"SumGrad": true, "TileGrad": true,
+}
+
+// metadataOps are O(rank) regardless of tensor size (they read only the
+// shape), so they inline even when their inputs are huge.
+var metadataOps = map[string]bool{
+	"Shape": true, "Size": true, "Rank": true, "ShapeDim": true,
+	"TensorArraySize": true,
+}
+
+// cheapInline reports whether this execution is an inexpensive ordinary
+// kernel the dispatcher should run itself.
+func (ex *Executor) cheapInline(idx int32, info *nodeInfo, inputs []Token) bool {
+	if info.kind != kOther || info.def == nil || info.def.Kernel == nil || info.expanding {
+		return false
+	}
+	if ex.runners != nil && ex.runners[idx] != nil {
+		return false
+	}
+	if ex.mems != nil && ex.mems[idx] != nil {
+		return false
+	}
+	if info.metadata {
+		return true
+	}
+	n := 0
+	for i := range inputs {
+		if t := inputs[i].Val.T; t != nil {
+			n += t.Size()
+			if n > smallKernelMaxElems {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// passOps have kernels that return input 0 unchanged; the executor
+// short-circuits them (preserving buffer ownership) when no custom device
+// runner is attached to the node.
+var passOps = map[string]bool{
+	"Identity": true, "LoopCond": true, "StopGradient": true,
+}
+
 // inlineItem is one queued dispatcher-inline execution.
 type inlineItem struct {
-	node    *graph.Node
+	idx     int32
 	fs      *frameState
 	iter    int
 	inputs  []Token
+	tag     string
 	deadCtl bool
+}
+
+// makeDead builds an all-dead output vector.
+func makeDead(n int) []Token {
+	out := make([]Token, n)
+	for i := range out {
+		out[i] = Token{Dead: true}
+	}
+	return out
+}
+
+// tensorInTokens reports whether t is aliased by any token in outs.
+func tensorInTokens(t *tensor.Tensor, outs []Token) bool {
+	for i := range outs {
+		if outs[i].Val.T == t {
+			return true
+		}
+	}
+	return false
 }
 
 // runNode evaluates one node instance per the Figure 5 rules. Kernel
 // panics (malformed shapes, bad dtypes) surface as step errors rather than
 // crashing the process.
-func (ex *Executor) runNode(n *graph.Node, fs *frameState, iter int, inputs []Token, deadCtl bool) (outs []Token, err error) {
+func (ex *Executor) runNode(idx int32, inputs []Token, tag string, deadCtl bool) (outs []Token, err error) {
+	info := &ex.plan.infos[idx]
 	defer func() {
 		if r := recover(); r != nil {
 			outs = nil
-			err = fmt.Errorf("exec: %s (%s) panicked: %v", n.Name(), n.Op(), r)
+			err = fmt.Errorf("exec: %s (%s) panicked: %v", info.node.Name(), info.node.Op(), r)
 		}
 	}()
-	return ex.runNodeInner(n, fs, iter, inputs, deadCtl)
+	outs, err = ex.runNodeInner(idx, info, inputs, tag, deadCtl)
+	if err == nil {
+		ex.recycleInputs(info, inputs, outs, deadCtl)
+	}
+	return outs, err
 }
 
-func (ex *Executor) runNodeInner(n *graph.Node, fs *frameState, iter int, inputs []Token, deadCtl bool) ([]Token, error) {
+// recycleInputs returns exclusively-owned input buffers to the tensor pool
+// once no reference can remain: the node was dead-skipped (its kernel never
+// ran), or its op is flagged as neither aliasing nor retaining inputs.
+// Buffers that the kernel forwarded into an output are exempt. This is the
+// only place tokens die — the executor, which knows consumer counts from
+// the plan, is the sole owner-of-record (per-op reference counting stays
+// trivial).
+func (ex *Executor) recycleInputs(info *nodeInfo, inputs []Token, outs []Token, deadCtl bool) {
+	dead := deadCtl
+	if !dead {
+		for i := range inputs {
+			if inputs[i].Dead {
+				dead = true
+				break
+			}
+		}
+	}
+	if !info.recycle && !dead {
+		return
+	}
+	for i := range inputs {
+		t := inputs[i].Val.T
+		if !inputs[i].Owned || t == nil || tensorInTokens(t, outs) {
+			continue
+		}
+		tensor.Recycle(t)
+	}
+}
+
+func (ex *Executor) runNodeInner(idx int32, info *nodeInfo, inputs []Token, tag string, deadCtl bool) ([]Token, error) {
 	anyDeadData := false
 	allDeadData := len(inputs) > 0
-	for _, t := range inputs {
-		if t.Dead {
+	for i := range inputs {
+		if inputs[i].Dead {
 			anyDeadData = true
 		} else {
 			allDeadData = false
 		}
 	}
-	deadTokens := func() []Token {
-		out := make([]Token, n.NumOutputs())
-		for i := range out {
-			out[i] = Token{Dead: true}
-		}
-		return out
-	}
+	n := info.node
 
-	switch n.Op() {
-	case "Merge":
+	switch info.kind {
+	case kMerge:
 		if allDeadData {
-			return deadTokens(), nil
+			return makeDead(int(info.numOut)), nil
 		}
 		for _, t := range inputs {
 			if !t.Dead && (t.Val.T != nil || t.Val.R != nil) {
@@ -584,9 +959,9 @@ func (ex *Executor) runNodeInner(n *graph.Node, fs *frameState, iter int, inputs
 		}
 		return nil, fmt.Errorf("exec: Merge %s fired without a live input", n.Name())
 
-	case "Switch":
+	case kSwitch:
 		if anyDeadData || deadCtl {
-			return deadTokens(), nil
+			return makeDead(int(info.numOut)), nil
 		}
 		p, err := inputs[1].Val.Tensor()
 		if err != nil {
@@ -601,75 +976,91 @@ func (ex *Executor) runNodeInner(n *graph.Node, fs *frameState, iter int, inputs
 		}
 		return []Token{d, {Dead: true}}, nil
 
-	case "Enter", "Exit", "NextIteration":
+	case kEnter, kExit, kNextIteration:
 		if deadCtl || anyDeadData {
-			return deadTokens(), nil
+			return makeDead(int(info.numOut)), nil
 		}
 		return []Token{inputs[0]}, nil
 
-	case "Send":
+	case kSend:
 		if deadCtl {
 			return nil, nil // peer's control loop mirrors the suppression
 		}
 		if ex.cfg.Rendezvous == nil {
 			return nil, fmt.Errorf("exec: Send %s without a rendezvous", n.Name())
 		}
-		key := RendezvousKey(n.AttrString(SendKeyAttr), fs.tag(iter))
+		key := RendezvousKey(info.sendKey, tag)
 		tok := Token{Dead: anyDeadData}
 		if !anyDeadData {
 			tok = inputs[0]
+			tok.Owned = false // the reference escapes to the rendezvous
 		}
 		if err := ex.cfg.Rendezvous.Send(key, tok); err != nil {
 			return nil, fmt.Errorf("exec: Send %s: %w", n.Name(), err)
 		}
 		return nil, nil
 
-	case "Recv":
+	case kRecv:
 		if deadCtl {
-			return deadTokens(), nil
+			return makeDead(int(info.numOut)), nil
 		}
 		if ex.cfg.Rendezvous == nil {
 			return nil, fmt.Errorf("exec: Recv %s without a rendezvous", n.Name())
 		}
-		key := RendezvousKey(n.AttrString(SendKeyAttr), fs.tag(iter))
+		key := RendezvousKey(info.sendKey, tag)
 		tok, err := ex.cfg.Rendezvous.Recv(key, ex.quit)
 		if err != nil {
 			select {
 			case <-ex.quit: // aborted elsewhere; stand down quietly
-				return deadTokens(), nil
+				return makeDead(int(info.numOut)), nil
 			default:
 			}
 			return nil, fmt.Errorf("exec: Recv %s: %w", n.Name(), err)
 		}
+		tok.Owned = false // the sender's executor may hold a reference
 		return []Token{tok}, nil
 	}
 
 	// Ordinary op: deadness propagation (last rule of Fig. 5).
 	if anyDeadData || deadCtl {
-		return deadTokens(), nil
+		return makeDead(int(info.numOut)), nil
 	}
-	def, err := ops.Get(n.Op())
-	if err != nil {
+	// Pure pass-throughs skip the kernel machinery (and keep buffer
+	// ownership flowing) unless a device runner wants to observe them.
+	if info.pass && (ex.runners == nil || ex.runners[idx] == nil) {
+		return []Token{inputs[0]}, nil
+	}
+	def := info.def
+	if def == nil {
+		_, err := ops.Get(n.Op())
 		return nil, err
 	}
 	if def.Kernel == nil {
 		return nil, fmt.Errorf("exec: op %s has no kernel", n.Op())
+	}
+	var fwd uint64
+	for i := range inputs {
+		if i >= 64 {
+			break
+		}
+		if inputs[i].Owned && inputs[i].Val.T != nil {
+			fwd |= 1 << uint(i)
+		}
 	}
 	kctx := &ops.KernelContext{
 		OpName:   n.Op(),
 		NodeName: n.Name(),
 		Attrs:    n.AttrsMap(),
 		In:       valuesOf(inputs),
+		FwdMask:  fwd,
 		Env:      ex.env,
 	}
-	if ex.cfg.Mem != nil {
-		kctx.Mem = ex.cfg.Mem(n.Device())
+	if ex.mems != nil {
+		kctx.Mem = ex.mems[idx]
 	}
 	runner := Runner(inlineRunner{})
-	if ex.cfg.Runner != nil {
-		if r := ex.cfg.Runner(n.Device()); r != nil {
-			runner = r
-		}
+	if ex.runners != nil && ex.runners[idx] != nil {
+		runner = ex.runners[idx]
 	}
 	var vals []ops.Value
 	var kerr error
@@ -679,20 +1070,26 @@ func (ex *Executor) runNodeInner(n *graph.Node, fs *frameState, iter int, inputs
 	if kerr != nil {
 		return nil, fmt.Errorf("exec: %s (%s): %w", n.Name(), n.Op(), kerr)
 	}
-	if len(vals) != n.NumOutputs() {
-		return nil, fmt.Errorf("exec: %s (%s): kernel returned %d outputs, node declares %d", n.Name(), n.Op(), len(vals), n.NumOutputs())
+	if len(vals) != int(info.numOut) {
+		return nil, fmt.Errorf("exec: %s (%s): kernel returned %d outputs, node declares %d", n.Name(), n.Op(), len(vals), info.numOut)
 	}
 	outs := make([]Token, len(vals))
 	for i, v := range vals {
-		outs[i] = Token{Val: v}
+		outs[i] = Token{Val: v, Owned: info.fresh && v.T != nil}
+	}
+	if info.pass && len(outs) == 1 && len(inputs) > 0 && outs[0].Val.T != nil &&
+		outs[0].Val.T == inputs[0].Val.T {
+		// A pass-through kernel that did run (device runner attached)
+		// still hands its input's ownership on.
+		outs[0].Owned = inputs[0].Owned
 	}
 	return outs, nil
 }
 
 func valuesOf(ts []Token) []ops.Value {
 	out := make([]ops.Value, len(ts))
-	for i, t := range ts {
-		out[i] = t.Val
+	for i := range ts {
+		out[i] = ts[i].Val
 	}
 	return out
 }
@@ -701,53 +1098,67 @@ func valuesOf(ts []Token) []ops.Value {
 // into the child frame's iteration 0 (or as a loop constant), Exit into the
 // parent frame, NextIteration into the next iteration (deferred if beyond
 // the parallel window), everything else within the same (frame, iteration).
-func (ex *Executor) propagate(n *graph.Node, fs *frameState, iter int, outs []Token) {
-	switch n.Op() {
-	case "Enter":
-		child := ex.childFrame(fs, n, iter)
+func (ex *Executor) propagate(idx int32, fs *frameState, iter int, outs []Token) {
+	info := &ex.plan.infos[idx]
+	switch info.kind {
+	case kEnter:
+		child := ex.childFrame(fs, info, iter)
 		child.entersDone++
-		if n.AttrBool("is_constant") {
-			child.constants = append(child.constants, constEntry{enter: n, tok: outs[0]})
-			if len(child.iterations) == 0 {
+		if info.isConstEnter {
+			// The constant is re-delivered into every iteration; the
+			// many references forbid buffer ownership.
+			outs[0].Owned = false
+			child.constants = append(child.constants, constEntry{idx: idx, tok: outs[0]})
+			if child.doneFrontier == 0 && child.ring[0] == nil {
 				ex.iteration(child, 0) // replays constants incl. this one
 				return
 			}
 			for i := child.doneFrontier; i <= child.maxActivated; i++ {
-				if _, ok := child.iterations[i]; ok {
-					ex.deliverOutputs(n, child, i, outs)
+				if lookupIter(child, i) != nil {
+					ex.deliverSingle(idx, child, i, outs[0])
 				}
 			}
 			return
 		}
 		ex.iteration(child, 0)
-		ex.deliverOutputs(n, child, 0, outs)
-	case "Exit":
+		ex.deliverSingle(idx, child, 0, outs[0])
+	case kExit:
 		if fs.parent == nil {
-			ex.fail(fmt.Errorf("exec: Exit %s executed in the root frame", n.Name()))
+			ex.fail(fmt.Errorf("exec: Exit %s executed in the root frame", info.node.Name()))
 			return
 		}
 		if outs[0].Dead {
 			// Suppressed: a later iteration may exit live; if none
 			// does, frame finalization delivers one dead token.
-			fs.deadExits = append(fs.deadExits, n)
+			fs.deadExits = append(fs.deadExits, idx)
 			return
 		}
-		fs.liveExits[n.ID()] = true
-		ex.deliverOutputs(n, fs.parent, fs.parentIter, outs)
-	case "NextIteration":
+		fs.liveExits[idx] = true
+		ex.deliverSingle(idx, fs.parent, fs.parentIter, outs[0])
+	case kNextIteration:
 		if outs[0].Dead {
 			return // deadness stops at the end of an iteration
 		}
 		next := iter + 1
 		if next >= fs.doneFrontier+fs.parallel {
-			fs.deferred[next] = append(fs.deferred[next], deferredDelivery{from: n, tok: outs[0]})
+			fs.addDeferred(next, deferredDelivery{from: idx, tok: outs[0]})
 			return
 		}
 		ex.iteration(fs, next)
-		ex.deliverOutputs(n, fs, next, outs)
+		ex.deliverSingle(idx, fs, next, outs[0])
 	default:
-		ex.deliverOutputs(n, fs, iter, outs)
+		ex.deliverOutputs(idx, fs, iter, outs)
 	}
+}
+
+func (fs *frameState) addDeferred(iter int, d deferredDelivery) {
+	for i := range fs.deferred {
+		if fs.deferred[i].iter == iter {
+			fs.deferred[i].items = append(fs.deferred[i].items, d)
+			return
+		}
+	}
+	fs.deferred = append(fs.deferred, deferredBucket{iter: iter, items: []deferredDelivery{d}})
 }
 
 func (ex *Executor) fail(err error) {
@@ -759,35 +1170,62 @@ func (ex *Executor) fail(err error) {
 
 // deliverOutputs fans tokens out to data and control consumers within one
 // (frame, iteration).
-func (ex *Executor) deliverOutputs(n *graph.Node, fs *frameState, iter int, outs []Token) {
-	if fs == ex.root {
-		// Fetches observe values as delivered into the root frame (an
-		// Exit's output materializes in its parent frame).
-		for port := range outs {
-			if slot, ok := ex.plan.fetchSet[n.Out(port)]; ok {
-				ex.fetched[slot] = outs[port]
-				ex.fetchOK[slot] = true
-			}
-		}
-	}
-	ports := ex.plan.dataConsumers[n.ID()]
-	for port, tok := range outs {
-		if port >= len(ports) {
-			break
-		}
-		for _, ce := range ports[port] {
-			ex.deliverData(ce, fs, iter, tok)
-		}
-	}
+func (ex *Executor) deliverOutputs(idx int32, fs *frameState, iter int, outs []Token) {
+	info := &ex.plan.infos[idx]
 	dead := len(outs) > 0
-	for _, t := range outs {
-		if !t.Dead {
+	for i := range outs {
+		if !outs[i].Dead {
 			dead = false
 			break
 		}
 	}
-	for _, c := range ex.plan.controlConsumers[n.ID()] {
+	for port := range outs {
+		ex.deliverPort(info, port, fs, iter, outs[port])
+	}
+	for _, c := range info.ctlConsumers {
 		ex.deliverControl(c, fs, iter, dead)
+	}
+}
+
+// deliverSingle is deliverOutputs for a single-output node, avoiding the
+// slice for the replay/deferred/dead-exit paths.
+func (ex *Executor) deliverSingle(idx int32, fs *frameState, iter int, tok Token) {
+	info := &ex.plan.infos[idx]
+	ex.deliverPort(info, 0, fs, iter, tok)
+	for _, c := range info.ctlConsumers {
+		ex.deliverControl(c, fs, iter, tok.Dead)
+	}
+}
+
+// deliverPort delivers one output token to the port's consumers, resolving
+// buffer ownership: a token stays owned only when exactly one consumer will
+// receive it and no fetch can observe it. Ports nobody consumes release
+// their buffer immediately.
+func (ex *Executor) deliverPort(info *nodeInfo, port int, fs *frameState, iter int, tok Token) {
+	fetched := info.fetchSlot != nil && info.fetchSlot[port] >= 0
+	if fetched {
+		tok.Owned = false
+		if fs == ex.root {
+			// Fetches observe values as delivered into the root frame
+			// (an Exit's output materializes in its parent frame).
+			slot := info.fetchSlot[port]
+			ex.fetched[slot] = tok
+			ex.fetchOK[slot] = true
+		}
+	}
+	var cs []consumerEdge
+	if port < len(info.consumers) {
+		cs = info.consumers[port]
+	}
+	if tok.Owned && len(cs) != 1 {
+		tok.Owned = false
+		if len(cs) == 0 && tok.Val.T != nil {
+			tensor.Recycle(tok.Val.T)
+			return
+		}
+	}
+	for _, ce := range cs {
+		ex.deliverData(ce, fs, iter, tok)
 	}
 }
 
@@ -801,19 +1239,26 @@ func (ex *Executor) advanceFrontier(fs *frameState) {
 	for {
 		progress := false
 		limit := fs.doneFrontier + fs.parallel
-		for tgt := fs.doneFrontier; tgt < limit; tgt++ {
-			if dl, ok := fs.deferred[tgt]; ok {
-				delete(fs.deferred, tgt)
+		for bi := 0; bi < len(fs.deferred); {
+			if tgt := fs.deferred[bi].iter; tgt < limit {
+				items := fs.deferred[bi].items
+				last := len(fs.deferred) - 1
+				fs.deferred[bi] = fs.deferred[last]
+				fs.deferred[last] = deferredBucket{}
+				fs.deferred = fs.deferred[:last]
 				ex.iteration(fs, tgt)
-				for _, d := range dl {
-					ex.deliverOutputs(d.from, fs, tgt, []Token{d.tok})
+				for _, d := range items {
+					ex.deliverSingle(d.from, fs, tgt, d.tok)
 				}
 				progress = true
+				continue // re-examine the swapped-in bucket at bi
 			}
+			bi++
 		}
-		if cur, ok := fs.iterations[fs.doneFrontier]; ok &&
+		if cur := lookupIter(fs, fs.doneFrontier); cur != nil &&
 			cur.outstanding == 0 && cur.childrenActive == 0 && ex.retirable(fs, cur) {
-			delete(fs.iterations, fs.doneFrontier)
+			fs.ring[fs.doneFrontier%fs.parallel] = nil
+			ex.iterFree = append(ex.iterFree, cur)
 			fs.doneFrontier++
 			progress = true
 		}
@@ -828,7 +1273,7 @@ func (ex *Executor) advanceFrontier(fs *frameState) {
 // only from the previous (already retired, hence fully drained) iteration,
 // so a drained non-zero iteration is always safe to retire.
 func (ex *Executor) retirable(fs *frameState, it *iterState) bool {
-	if it.iter == 0 && fs.entersDone < ex.plan.enterCount[fs.name] {
+	if it.iter == 0 && fs.frameID >= 0 && fs.entersDone < ex.plan.frames[fs.frameID].enterCount {
 		return false
 	}
 	return true

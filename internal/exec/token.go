@@ -14,6 +14,14 @@
 // Multiple iterations of a loop may run concurrently, bounded by the
 // frame's parallel-iterations window (default 32, the value the paper
 // reports works well).
+//
+// The steady-state path is dense and allocation-free: plans give every
+// node a compact index into one flat metadata table, iteration state lives
+// in recycled flat slices addressed by that index (a ring buffer of
+// iterations per frame, exact because the window bounds liveness), and
+// tensor buffers whose sole reference the executor can prove are forwarded
+// into kernel outputs or recycled through the tensor pool. See README.md
+// in this directory for the design and the buffer-ownership rule.
 package exec
 
 import (
@@ -34,6 +42,13 @@ import (
 type Token struct {
 	Val  ops.Value
 	Dead bool
+	// Owned marks a token whose tensor buffer has exactly one live
+	// reference (the holder). The executor sets it on fresh kernel
+	// outputs with a single consumer and clears it whenever a reference
+	// escapes (fan-out, fetches, loop constants, rendezvous); an owned
+	// buffer may be forwarded into a kernel's output or recycled into the
+	// tensor pool. See internal/exec/README.md for the ownership rule.
+	Owned bool
 }
 
 // Rendezvous exchanges tokens between executors (the Send/Recv mechanism of

@@ -72,8 +72,20 @@ func (n *Node) Input(i int) Output { return n.inputs[i] }
 // Inputs returns a copy of the data input list.
 func (n *Node) Inputs() []Output { return append([]Output(nil), n.inputs...) }
 
+// InputsRef returns the data input list without copying; callers must not
+// modify it or hold it across graph rewrites. Plan construction and graph
+// analyses use it to avoid a copy per node.
+func (n *Node) InputsRef() []Output { return n.inputs }
+
 // ControlInputs returns a copy of the control dependency list.
 func (n *Node) ControlInputs() []*Node { return append([]*Node(nil), n.controlIn...) }
+
+// ControlInputsRef returns the control dependency list without copying;
+// the same caveats as InputsRef apply.
+func (n *Node) ControlInputsRef() []*Node { return n.controlIn }
+
+// NumControlInputs returns the number of control dependencies.
+func (n *Node) NumControlInputs() int { return len(n.controlIn) }
 
 // NumOutputs returns the number of output ports.
 func (n *Node) NumOutputs() int { return n.numOutputs }
@@ -347,7 +359,7 @@ func (g *Graph) TopoSort() ([]*Node, error) {
 		if IsBackEdgeOp(n.op) {
 			continue // its inputs are back edges
 		}
-		seen := map[int]bool{}
+		seen := make(map[int]bool, len(n.inputs)+len(n.controlIn))
 		for _, in := range n.inputs {
 			if !seen[in.Node.id] {
 				seen[in.Node.id] = true

@@ -6,9 +6,10 @@ import (
 	"repro/internal/tensor"
 )
 
-// unary registers a one-input one-output tensor op.
+// unary registers a one-input one-output tensor op whose kernel returns a
+// freshly allocated output and retains no input reference.
 func unary(name string, fn func(*tensor.Tensor) (*tensor.Tensor, error)) {
-	Register(&OpDef{Name: name, NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		x, err := ctx.Input(0)
 		if err != nil {
 			return nil, err
@@ -21,9 +22,27 @@ func unary(name string, fn func(*tensor.Tensor) (*tensor.Tensor, error)) {
 	}})
 }
 
-// binary registers a two-input one-output tensor op.
+// unaryFwd registers a fresh unary op with an output-forwarding fast path:
+// when the executor owns the input buffer exclusively, the kernel writes
+// its result in place instead of allocating.
+func unaryFwd(name string, into func(dst, t *tensor.Tensor) (*tensor.Tensor, error)) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		x, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := into(ctx.ForwardableInput(0), x)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+}
+
+// binary registers a two-input one-output tensor op whose kernel returns a
+// freshly allocated output and retains no input reference.
 func binary(name string, fn func(a, b *tensor.Tensor) (*tensor.Tensor, error)) {
-	Register(&OpDef{Name: name, NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		a, err := ctx.Input(0)
 		if err != nil {
 			return nil, err
@@ -40,15 +59,40 @@ func binary(name string, fn func(a, b *tensor.Tensor) (*tensor.Tensor, error)) {
 	}})
 }
 
+// binaryFwd registers a fresh binary op with an output-forwarding fast
+// path: an exclusively-owned input buffer of the right shape becomes the
+// output buffer (TF-style buffer forwarding), preferring input 0.
+func binaryFwd(name string, into func(dst, a, b *tensor.Tensor) (*tensor.Tensor, error)) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
+		a, err := ctx.Input(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ctx.Input(1)
+		if err != nil {
+			return nil, err
+		}
+		dst := ctx.ForwardableInput(0)
+		if dst == nil {
+			dst = ctx.ForwardableInput(1)
+		}
+		r, err := into(dst, a, b)
+		if err != nil {
+			return nil, err
+		}
+		return one(TensorVal(r)), nil
+	}})
+}
+
 func init() {
-	binary("Add", tensor.Add)
-	binary("Sub", tensor.Sub)
-	binary("Mul", tensor.Mul)
-	binary("Div", tensor.Div)
-	binary("Pow", tensor.Pow)
-	binary("Maximum", tensor.Maximum)
-	binary("Minimum", tensor.Minimum)
-	binary("Mod", tensor.Mod)
+	binaryFwd("Add", tensor.AddInto)
+	binaryFwd("Sub", tensor.SubInto)
+	binaryFwd("Mul", tensor.MulInto)
+	binaryFwd("Div", tensor.DivInto)
+	binaryFwd("Pow", tensor.PowInto)
+	binaryFwd("Maximum", tensor.MaximumInto)
+	binaryFwd("Minimum", tensor.MinimumInto)
+	binaryFwd("Mod", tensor.ModInto)
 	binary("MatMul", matMulKernel)
 	binary("Greater", tensor.Greater)
 	binary("GreaterEqual", tensor.GreaterEqual)
@@ -59,23 +103,23 @@ func init() {
 	binary("LogicalAnd", tensor.LogicalAnd)
 	binary("LogicalOr", tensor.LogicalOr)
 
-	unary("Neg", tensor.Neg)
-	unary("Abs", tensor.Abs)
-	unary("Exp", tensor.Exp)
-	unary("Log", tensor.Log)
-	unary("Sqrt", tensor.Sqrt)
-	unary("Square", tensor.Square)
-	unary("Sigmoid", tensor.Sigmoid)
-	unary("Tanh", tensor.Tanh)
-	unary("Relu", tensor.Relu)
-	unary("Sign", tensor.Sign)
+	unaryFwd("Neg", tensor.NegInto)
+	unaryFwd("Abs", tensor.AbsInto)
+	unaryFwd("Exp", tensor.ExpInto)
+	unaryFwd("Log", tensor.LogInto)
+	unaryFwd("Sqrt", tensor.SqrtInto)
+	unaryFwd("Square", tensor.SquareInto)
+	unaryFwd("Sigmoid", tensor.SigmoidInto)
+	unaryFwd("Tanh", tensor.TanhInto)
+	unaryFwd("Relu", tensor.ReluInto)
+	unaryFwd("Sign", tensor.SignInto)
 	unary("LogicalNot", tensor.LogicalNot)
 	unary("Softmax", tensor.Softmax)
 	unary("LogSoftmax", tensor.LogSoftmax)
 	unary("ZerosLike", func(t *tensor.Tensor) (*tensor.Tensor, error) { return tensor.ZerosLike(t), nil })
 	unary("OnesLike", func(t *tensor.Tensor) (*tensor.Tensor, error) { return tensor.OnesLike(t), nil })
 
-	Register(&OpDef{Name: "AddN", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: "AddN", NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		ts := make([]*tensor.Tensor, len(ctx.In))
 		for i := range ctx.In {
 			t, err := ctx.Input(i)
@@ -84,6 +128,25 @@ func init() {
 			}
 			ts[i] = t
 		}
+		// Forwarding fast path: accumulate directly into an
+		// exclusively-owned first input.
+		if dst := ctx.ForwardableInput(0); dst != nil && dst.DType() == tensor.Float {
+			ok := true
+			for _, t := range ts[1:] {
+				if t.DType() != tensor.Float || !tensor.SameShape(dst, t) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, t := range ts[1:] {
+					if err := tensor.AccumulateInto(dst, t); err != nil {
+						return nil, err
+					}
+				}
+				return one(TensorVal(dst)), nil
+			}
+		}
 		r, err := tensor.AddN(ts...)
 		if err != nil {
 			return nil, err
@@ -91,7 +154,7 @@ func init() {
 		return one(TensorVal(r)), nil
 	}})
 
-	Register(&OpDef{Name: "Select", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: "Select", NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		c, err := ctx.Input(0)
 		if err != nil {
 			return nil, err
@@ -116,7 +179,7 @@ func init() {
 	reduceOp("Max", tensor.ReduceMax)
 	reduceOp("Min", tensor.ReduceMin)
 
-	Register(&OpDef{Name: "ArgMax", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: "ArgMax", NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		x, err := ctx.Input(0)
 		if err != nil {
 			return nil, err
@@ -128,7 +191,7 @@ func init() {
 		return one(TensorVal(r)), nil
 	}})
 
-	Register(&OpDef{Name: "Transpose", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: "Transpose", NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		x, err := ctx.Input(0)
 		if err != nil {
 			return nil, err
@@ -140,7 +203,7 @@ func init() {
 		return one(TensorVal(r)), nil
 	}})
 
-	Register(&OpDef{Name: "Cast", NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: "Cast", NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		x, err := ctx.Input(0)
 		if err != nil {
 			return nil, err
@@ -162,8 +225,10 @@ func init() {
 // needed, so here we just multiply.
 func matMulKernel(a, b *tensor.Tensor) (*tensor.Tensor, error) { return tensor.MatMul(a, b) }
 
+// reduceOp kernels return fresh outputs, so the executor can recycle their
+// (often much larger) owned input buffers into the pool.
 func reduceOp(name string, fn func(t *tensor.Tensor, axes []int, keep bool) (*tensor.Tensor, error)) {
-	Register(&OpDef{Name: name, NumOutputs: 1, Kernel: func(ctx *KernelContext) ([]Value, error) {
+	Register(&OpDef{Name: name, NumOutputs: 1, Fresh: true, Kernel: func(ctx *KernelContext) ([]Value, error) {
 		x, err := ctx.Input(0)
 		if err != nil {
 			return nil, err

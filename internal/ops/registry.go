@@ -25,6 +25,15 @@ type OpDef struct {
 	// Stateful ops have side effects and are never pruned or
 	// deduplicated.
 	Stateful bool
+	// Fresh marks kernels whose outputs alias no memory the kernel does
+	// not exclusively own — each output is either freshly allocated or
+	// forwarded from an input granted via KernelContext.ForwardableInput —
+	// and that retain no reference to their inputs after returning. The
+	// executor uses it to track buffer ownership for output forwarding
+	// and pool recycling. Ops that return feeds, constants, resource
+	// state, or views of inputs (Const, Placeholder, VarRead, Identity,
+	// stack/TensorArray ops, ...) must leave it unset.
+	Fresh bool
 }
 
 var (

@@ -148,11 +148,27 @@ type KernelContext struct {
 	Attrs map[string]any
 	// In holds the input values in port order.
 	In []Value
+	// FwdMask marks inputs whose tensor buffers the executor owns
+	// exclusively: bit i set means input i has no other live reference,
+	// and an opt-in kernel may write its output into that buffer (buffer
+	// forwarding) via ForwardableInput. Inputs beyond 63 are never
+	// forwardable.
+	FwdMask uint64
 	// Env is the step environment.
 	Env Env
 	// Mem is the executing device's memory system (may be nil for
 	// plain CPU execution with no accounting).
 	Mem DeviceMem
+}
+
+// ForwardableInput returns the tensor of input i when the executor has
+// granted exclusive ownership of its buffer (see FwdMask), else nil. A
+// kernel that takes the buffer must return it as (part of) an output.
+func (c *KernelContext) ForwardableInput(i int) *tensor.Tensor {
+	if i < 0 || i >= len(c.In) || i >= 64 || c.FwdMask&(1<<uint(i)) == 0 {
+		return nil
+	}
+	return c.In[i].T
 }
 
 // Input returns input i as a tensor.

@@ -15,7 +15,7 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		if k != k2 {
 			return nil, fmt.Errorf("tensor: MatMul inner dims mismatch: %v x %v", a.shape, b.shape)
 		}
-		out := New(Float, m, n)
+		out := NewFromPool(Float, m, n)
 		matmul2d(out.F, a.F, b.F, m, k, n)
 		return out, nil
 	case a.Rank() == 3 && b.Rank() == 3:
@@ -24,7 +24,7 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		if bt != bt2 || k != k2 {
 			return nil, fmt.Errorf("tensor: batched MatMul shape mismatch: %v x %v", a.shape, b.shape)
 		}
-		out := New(Float, bt, m, n)
+		out := NewFromPool(Float, bt, m, n)
 		for i := 0; i < bt; i++ {
 			matmul2d(out.F[i*m*n:(i+1)*m*n], a.F[i*m*k:(i+1)*m*k], b.F[i*k*n:(i+1)*k*n], m, k, n)
 		}

@@ -74,6 +74,16 @@ func broadcastIndexer(from, to []int) func(int) int {
 
 // binaryFloat applies fn elementwise with broadcasting over float tensors.
 func binaryFloat(name string, a, b *Tensor, fn func(x, y float64) float64) (*Tensor, error) {
+	return binaryFloatInto(name, nil, a, b, fn)
+}
+
+// binaryFloatInto is binaryFloat writing into dst when dst can legally hold
+// the result: dst must alias a or b (the buffer-forwarding contract — the
+// caller owns it exclusively), be float, and already have the broadcast
+// shape. Any mismatch falls back to a pooled allocation. Aliasing is safe
+// because every output element is written exactly once from the same (or
+// another tensor's) index before being read again.
+func binaryFloatInto(name string, dst, a, b *Tensor, fn func(x, y float64) float64) (*Tensor, error) {
 	if a.dtype == Int && b.dtype == Int {
 		// Integer fast path: operate in float space but emit ints for
 		// closed operations. Callers needing true int semantics use
@@ -93,7 +103,10 @@ func binaryFloat(name string, a, b *Tensor, fn func(x, y float64) float64) (*Ten
 	if err != nil {
 		return nil, fmt.Errorf("tensor: %s: %w", name, err)
 	}
-	out := New(Float, shape...)
+	out := dst
+	if out == nil || (out != a && out != b) || out.dtype != Float || !ShapeEq(out.shape, shape) {
+		out = Alloc(Float, shape...)
+	}
 	n := out.Size()
 	if ShapeEq(a.shape, shape) && ShapeEq(b.shape, shape) {
 		for i := 0; i < n; i++ {
@@ -109,45 +122,75 @@ func binaryFloat(name string, a, b *Tensor, fn func(x, y float64) float64) (*Ten
 	return out, nil
 }
 
+// Elementwise kernels, named so the *Into forwarding variants share them.
+var (
+	addFn  = func(x, y float64) float64 { return x + y }
+	subFn  = func(x, y float64) float64 { return x - y }
+	mulFn  = func(x, y float64) float64 { return x * y }
+	divFn  = func(x, y float64) float64 { return x / y }
+	negFn  = func(x float64) float64 { return -x }
+	sqFn   = func(x float64) float64 { return x * x }
+	sigFn  = func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	reluFn = func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	}
+)
+
 // Add returns a+b with broadcasting.
-func Add(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Add", a, b, func(x, y float64) float64 { return x + y })
-}
+func Add(a, b *Tensor) (*Tensor, error) { return binaryFloat("Add", a, b, addFn) }
+
+// AddInto is Add writing into dst when permitted (see binaryFloatInto);
+// dst may be nil or alias a or b.
+func AddInto(dst, a, b *Tensor) (*Tensor, error) { return binaryFloatInto("Add", dst, a, b, addFn) }
 
 // Sub returns a-b with broadcasting.
-func Sub(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Sub", a, b, func(x, y float64) float64 { return x - y })
-}
+func Sub(a, b *Tensor) (*Tensor, error) { return binaryFloat("Sub", a, b, subFn) }
+
+// SubInto is Sub writing into dst when permitted.
+func SubInto(dst, a, b *Tensor) (*Tensor, error) { return binaryFloatInto("Sub", dst, a, b, subFn) }
 
 // Mul returns a*b elementwise with broadcasting.
-func Mul(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Mul", a, b, func(x, y float64) float64 { return x * y })
-}
+func Mul(a, b *Tensor) (*Tensor, error) { return binaryFloat("Mul", a, b, mulFn) }
+
+// MulInto is Mul writing into dst when permitted.
+func MulInto(dst, a, b *Tensor) (*Tensor, error) { return binaryFloatInto("Mul", dst, a, b, mulFn) }
 
 // Div returns a/b elementwise with broadcasting.
-func Div(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Div", a, b, func(x, y float64) float64 { return x / y })
-}
+func Div(a, b *Tensor) (*Tensor, error) { return binaryFloat("Div", a, b, divFn) }
+
+// DivInto is Div writing into dst when permitted.
+func DivInto(dst, a, b *Tensor) (*Tensor, error) { return binaryFloatInto("Div", dst, a, b, divFn) }
 
 // Pow returns a**b elementwise with broadcasting.
-func Pow(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Pow", a, b, math.Pow)
-}
+func Pow(a, b *Tensor) (*Tensor, error) { return binaryFloat("Pow", a, b, math.Pow) }
+
+// PowInto is Pow writing into dst when permitted.
+func PowInto(dst, a, b *Tensor) (*Tensor, error) { return binaryFloatInto("Pow", dst, a, b, math.Pow) }
 
 // Maximum returns elementwise max with broadcasting.
-func Maximum(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Maximum", a, b, math.Max)
+func Maximum(a, b *Tensor) (*Tensor, error) { return binaryFloat("Maximum", a, b, math.Max) }
+
+// MaximumInto is Maximum writing into dst when permitted.
+func MaximumInto(dst, a, b *Tensor) (*Tensor, error) {
+	return binaryFloatInto("Maximum", dst, a, b, math.Max)
 }
 
 // Minimum returns elementwise min with broadcasting.
-func Minimum(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Minimum", a, b, math.Min)
+func Minimum(a, b *Tensor) (*Tensor, error) { return binaryFloat("Minimum", a, b, math.Min) }
+
+// MinimumInto is Minimum writing into dst when permitted.
+func MinimumInto(dst, a, b *Tensor) (*Tensor, error) {
+	return binaryFloatInto("Minimum", dst, a, b, math.Min)
 }
 
 // Mod returns elementwise floating-point remainder with broadcasting.
-func Mod(a, b *Tensor) (*Tensor, error) {
-	return binaryFloat("Mod", a, b, math.Mod)
-}
+func Mod(a, b *Tensor) (*Tensor, error) { return binaryFloat("Mod", a, b, math.Mod) }
+
+// ModInto is Mod writing into dst when permitted.
+func ModInto(dst, a, b *Tensor) (*Tensor, error) { return binaryFloatInto("Mod", dst, a, b, math.Mod) }
 
 // AddInt adds int tensors with broadcasting, staying in int64.
 func AddInt(a, b *Tensor) (*Tensor, error) {
@@ -158,7 +201,7 @@ func AddInt(a, b *Tensor) (*Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := New(Int, shape...)
+	out := Alloc(Int, shape...)
 	ai := broadcastIndexer(a.shape, shape)
 	bi := broadcastIndexer(b.shape, shape)
 	for i := range out.I {
@@ -169,6 +212,13 @@ func AddInt(a, b *Tensor) (*Tensor, error) {
 
 // unaryFloat applies fn elementwise to a float tensor.
 func unaryFloat(name string, t *Tensor, fn func(float64) float64) (*Tensor, error) {
+	return unaryFloatInto(name, nil, t, fn)
+}
+
+// unaryFloatInto is unaryFloat writing into dst when dst aliases t (the
+// forwarding contract) and t is float; otherwise it allocates from the
+// buffer pool.
+func unaryFloatInto(name string, dst, t *Tensor, fn func(float64) float64) (*Tensor, error) {
 	if t.dtype == Int {
 		f, _ := Cast(t, Float)
 		r, err := unaryFloat(name, f, fn)
@@ -180,65 +230,85 @@ func unaryFloat(name string, t *Tensor, fn func(float64) float64) (*Tensor, erro
 	if t.dtype != Float {
 		return nil, fmt.Errorf("tensor: %s requires a float tensor, got %v", name, t.dtype)
 	}
-	out := New(Float, t.shape...)
+	out := dst
+	if out != t || out == nil {
+		out = Alloc(Float, t.shape...)
+	}
 	for i, v := range t.F {
 		out.F[i] = fn(v)
 	}
 	return out, nil
 }
 
-// Neg returns -t.
-func Neg(t *Tensor) (*Tensor, error) {
-	return unaryFloat("Neg", t, func(x float64) float64 { return -x })
+func signFn(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
 }
+
+// Neg returns -t.
+func Neg(t *Tensor) (*Tensor, error) { return unaryFloat("Neg", t, negFn) }
+
+// NegInto is Neg writing into dst when permitted (dst may alias t).
+func NegInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Neg", dst, t, negFn) }
 
 // Abs returns |t|.
 func Abs(t *Tensor) (*Tensor, error) { return unaryFloat("Abs", t, math.Abs) }
 
+// AbsInto is Abs writing into dst when permitted.
+func AbsInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Abs", dst, t, math.Abs) }
+
 // Exp returns e**t elementwise.
 func Exp(t *Tensor) (*Tensor, error) { return unaryFloat("Exp", t, math.Exp) }
+
+// ExpInto is Exp writing into dst when permitted.
+func ExpInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Exp", dst, t, math.Exp) }
 
 // Log returns ln(t) elementwise.
 func Log(t *Tensor) (*Tensor, error) { return unaryFloat("Log", t, math.Log) }
 
+// LogInto is Log writing into dst when permitted.
+func LogInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Log", dst, t, math.Log) }
+
 // Sqrt returns sqrt(t) elementwise.
 func Sqrt(t *Tensor) (*Tensor, error) { return unaryFloat("Sqrt", t, math.Sqrt) }
 
+// SqrtInto is Sqrt writing into dst when permitted.
+func SqrtInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Sqrt", dst, t, math.Sqrt) }
+
 // Square returns t*t elementwise.
-func Square(t *Tensor) (*Tensor, error) {
-	return unaryFloat("Square", t, func(x float64) float64 { return x * x })
-}
+func Square(t *Tensor) (*Tensor, error) { return unaryFloat("Square", t, sqFn) }
+
+// SquareInto is Square writing into dst when permitted.
+func SquareInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Square", dst, t, sqFn) }
 
 // Sigmoid returns 1/(1+e^-t) elementwise.
-func Sigmoid(t *Tensor) (*Tensor, error) {
-	return unaryFloat("Sigmoid", t, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-}
+func Sigmoid(t *Tensor) (*Tensor, error) { return unaryFloat("Sigmoid", t, sigFn) }
+
+// SigmoidInto is Sigmoid writing into dst when permitted.
+func SigmoidInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Sigmoid", dst, t, sigFn) }
 
 // Tanh returns tanh(t) elementwise.
 func Tanh(t *Tensor) (*Tensor, error) { return unaryFloat("Tanh", t, math.Tanh) }
 
+// TanhInto is Tanh writing into dst when permitted.
+func TanhInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Tanh", dst, t, math.Tanh) }
+
 // Relu returns max(t, 0) elementwise.
-func Relu(t *Tensor) (*Tensor, error) {
-	return unaryFloat("Relu", t, func(x float64) float64 {
-		if x > 0 {
-			return x
-		}
-		return 0
-	})
-}
+func Relu(t *Tensor) (*Tensor, error) { return unaryFloat("Relu", t, reluFn) }
+
+// ReluInto is Relu writing into dst when permitted.
+func ReluInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Relu", dst, t, reluFn) }
 
 // Sign returns -1, 0, or 1 elementwise.
-func Sign(t *Tensor) (*Tensor, error) {
-	return unaryFloat("Sign", t, func(x float64) float64 {
-		switch {
-		case x > 0:
-			return 1
-		case x < 0:
-			return -1
-		}
-		return 0
-	})
-}
+func Sign(t *Tensor) (*Tensor, error) { return unaryFloat("Sign", t, signFn) }
+
+// SignInto is Sign writing into dst when permitted.
+func SignInto(dst, t *Tensor) (*Tensor, error) { return unaryFloatInto("Sign", dst, t, signFn) }
 
 // compare applies a predicate elementwise with broadcasting, yielding Bool.
 func compare(name string, a, b *Tensor, fn func(x, y float64) bool) (*Tensor, error) {
@@ -262,7 +332,7 @@ func compare(name string, a, b *Tensor, fn func(x, y float64) bool) (*Tensor, er
 	if err != nil {
 		return nil, fmt.Errorf("tensor: %s: %w", name, err)
 	}
-	out := New(Bool, shape...)
+	out := Alloc(Bool, shape...)
 	ai := broadcastIndexer(af.shape, shape)
 	bi := broadcastIndexer(bf.shape, shape)
 	for i := range out.B {
@@ -319,7 +389,7 @@ func logical(name string, a, b *Tensor, fn func(x, y bool) bool) (*Tensor, error
 	if err != nil {
 		return nil, fmt.Errorf("tensor: %s: %w", name, err)
 	}
-	out := New(Bool, shape...)
+	out := Alloc(Bool, shape...)
 	ai := broadcastIndexer(a.shape, shape)
 	bi := broadcastIndexer(b.shape, shape)
 	for i := range out.B {
@@ -333,7 +403,7 @@ func LogicalNot(t *Tensor) (*Tensor, error) {
 	if t.dtype != Bool {
 		return nil, fmt.Errorf("tensor: LogicalNot requires a bool tensor, got %v", t.dtype)
 	}
-	out := New(Bool, t.shape...)
+	out := Alloc(Bool, t.shape...)
 	for i, v := range t.B {
 		out.B[i] = !v
 	}

@@ -1,0 +1,132 @@
+package tensor
+
+import "sync"
+
+// Buffer pool: size-classed free lists of whole tensors (struct, shape
+// slice, and backing storage together), one set of power-of-two classes per
+// numeric dtype. Alloc/Recycle are the runtime's buffer-reuse entry points
+// — the equivalent of TensorFlow's allocator-backed buffer forwarding —
+// while New remains the plain GC-managed constructor for long-lived
+// tensors (constants, variables, user data).
+//
+// Ownership rule: Recycle may only be called by a holder that is provably
+// the last reference to the tensor. In this repository that holder is the
+// executor, which derives exclusivity from plan consumer counts (see
+// internal/exec); kernels never call Recycle themselves.
+
+// poolClasses bounds the largest pooled buffer at 2^(poolClasses-1)
+// elements (~1 GiB of float64); larger tensors fall through to the GC.
+const poolClasses = 28
+
+var tensorPools [3][poolClasses]sync.Pool // indexed by Float, Int, Bool
+
+// classFor returns the smallest class whose capacity (1<<class) holds n
+// elements.
+func classFor(n int) int {
+	c := 0
+	for (1 << c) < n {
+		c++
+	}
+	return c
+}
+
+// fitClass returns the largest class whose capacity fits within cp, or -1
+// when cp is 0 (nothing worth pooling) or cp exceeds the largest class
+// (Alloc never draws such sizes from the pool, so storing them would only
+// pin oversized memory).
+func fitClass(cp int) int {
+	if cp <= 0 || cp >= 1<<poolClasses {
+		return -1
+	}
+	c := 0
+	for c+1 < poolClasses && (1<<(c+1)) <= cp {
+		c++
+	}
+	return c
+}
+
+// Alloc returns a tensor of the given dtype and shape drawn from the
+// buffer pool when possible. The element storage MAY BE UNINITIALIZED
+// (previous contents): use it only when every element will be written, or
+// use NewFromPool for zeroed storage. String tensors are never pooled.
+func Alloc(dtype DType, shape ...int) *Tensor {
+	n := NumElements(shape)
+	if dtype < Float || dtype > Bool {
+		return New(dtype, shape...)
+	}
+	c := classFor(n)
+	if c >= poolClasses {
+		return New(dtype, shape...)
+	}
+	if v := tensorPools[dtype][c].Get(); v != nil {
+		t := v.(*Tensor)
+		t.shape = append(t.shape[:0], shape...)
+		switch dtype {
+		case Float:
+			t.F = t.F[:n]
+		case Int:
+			t.I = t.I[:n]
+		case Bool:
+			t.B = t.B[:n]
+		}
+		return t
+	}
+	t := &Tensor{dtype: dtype, shape: cloneShape(shape)}
+	switch dtype {
+	case Float:
+		t.F = make([]float64, n, 1<<c)
+	case Int:
+		t.I = make([]int64, n, 1<<c)
+	case Bool:
+		t.B = make([]bool, n, 1<<c)
+	}
+	return t
+}
+
+// NewFromPool is Alloc with zeroed element storage: a drop-in replacement
+// for New on hot paths that cannot guarantee a full overwrite. (Str falls
+// through Alloc to New, whose storage is already zeroed.)
+func NewFromPool(dtype DType, shape ...int) *Tensor {
+	t := Alloc(dtype, shape...)
+	switch t.dtype {
+	case Float:
+		clear(t.F)
+	case Int:
+		clear(t.I)
+	case Bool:
+		clear(t.B)
+	}
+	return t
+}
+
+// Recycle returns t (struct, shape, and storage) to the buffer pool for a
+// later Alloc. The caller must hold the only live reference to t: no other
+// tensor, value, fetch, feed, resource, or slice of its backing array may
+// survive the call. Non-numeric tensors and nil are ignored.
+func Recycle(t *Tensor) {
+	if t == nil || t.dtype < Float || t.dtype > Bool {
+		return
+	}
+	var c int
+	switch t.dtype {
+	case Float:
+		c = fitClass(cap(t.F))
+		if c >= 0 {
+			t.F = t.F[:0]
+		}
+	case Int:
+		c = fitClass(cap(t.I))
+		if c >= 0 {
+			t.I = t.I[:0]
+		}
+	case Bool:
+		c = fitClass(cap(t.B))
+		if c >= 0 {
+			t.B = t.B[:0]
+		}
+	}
+	if c < 0 {
+		return
+	}
+	tensorPools[t.dtype][c].Put(t)
+}

@@ -70,7 +70,7 @@ func reduce(t *Tensor, axes []int, keepDims bool, init float64, fn func(acc, v f
 			outShape = append(outShape, d)
 		}
 	}
-	out := New(Float, outShape...)
+	out := Alloc(Float, outShape...)
 	for i := range out.F {
 		out.F[i] = init
 	}
@@ -161,7 +161,7 @@ func Softmax(t *Tensor) (*Tensor, error) {
 	if t.dtype != Float || t.Rank() == 0 {
 		return nil, fmt.Errorf("tensor: Softmax requires a float tensor of rank>=1")
 	}
-	out := New(Float, t.shape...)
+	out := Alloc(Float, t.shape...)
 	inner := t.shape[t.Rank()-1]
 	rows := t.Size() / inner
 	for r := 0; r < rows; r++ {
