@@ -6,8 +6,12 @@
 //	dcfbench -quick           # reduced sweeps (CI scale)
 //	dcfbench -exp fig13 -out fig13_timeline.txt
 //	dcfbench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	dcfbench -exp serving -concurrency 16
 //
-// Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn, ablations.
+// Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn,
+// ablations, serving. The serving experiment drives a shared pre-compiled
+// Callable from -concurrency goroutines and reports aggregate steps/sec
+// per concurrency level (the paper's §3 multi-tenant server shape).
 // The -cpuprofile/-memprofile flags write pprof profiles covering the
 // selected experiments, so perf work on the figures needs no code edits:
 // go tool pprof cpu.pprof.
@@ -30,8 +34,9 @@ func main() {
 // run1 is main's body; returning the exit code (instead of calling os.Exit
 // inline) lets the deferred profile writers run on failure paths too.
 func run1() int {
-	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|all)")
+	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|all)")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0)*2, "top of the serving experiment's goroutine sweep")
 	out := flag.String("out", "", "also write figure artifacts (fig13 timeline / chrome trace) to this path prefix")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -105,6 +110,9 @@ func run1() int {
 		case "dqn":
 			_, err := bench.DQN(bench.DefaultDQN(*quick), os.Stdout)
 			return err
+		case "serving":
+			_, err := bench.Serving(bench.DefaultServing(*quick, *concurrency), os.Stdout)
+			return err
 		case "ablations":
 			for _, n := range []int{16, 256} {
 				if _, err := bench.AblationDeadness(n, 50, os.Stdout); err != nil {
@@ -123,7 +131,7 @@ func run1() int {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations"}
+		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving"}
 	}
 	for _, id := range ids {
 		fmt.Printf("==== %s ====\n", id)

@@ -21,6 +21,28 @@
 //	loss := outs[1].Square().ReduceSum()
 //	grads := g.MustGradients(loss, w)
 //	sess := dcf.NewSession(g)
+//
+// # Execution model: Run, RunCtx, Callable
+//
+// A Session is safe for concurrent use — the paper's deployment is a
+// multi-tenant server driving one graph with many concurrent steps, and
+// the API is built for that shape. Three entry points trade convenience
+// against steady-state cost:
+//
+//   - Run / Run1 / RunTargets: the scripting path. Feeds by name, plan
+//     cached per (fetches, targets, graph-version) signature.
+//   - RunCtx: Run under a context.Context (deadline / client disconnect
+//     cancels the step promptly) returning per-run RunMetadata instead of
+//     mutating session-global Stats.
+//   - MakeCallable + Call: the serving hot path. The pruned plan is
+//     compiled once; each Call binds args positionally — no pruning, no
+//     signature hashing, no feed-map allocation per request. Use one
+//     shared Callable per request signature (see examples/serving).
+//
+// Each run — whichever entry point — gets its own executor, step
+// resources, and deterministic derived RNG stream; session variables are
+// shared across runs, with last-writer-wins semantics under concurrent
+// assignment, as in TensorFlow.
 package dcf
 
 import (

@@ -1,0 +1,76 @@
+package dcf_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/dcf"
+)
+
+// The serving benchmarks compare the three execution entry points on one
+// inference-shaped graph. Expected ordering: Callable < Run (the callable
+// skips signature hashing, pruning-signature lookup, and feed-map
+// allocation), and BenchmarkConcurrentRun's per-op time shrinks as
+// GOMAXPROCS grows (no global serialization in the Session).
+
+func benchSession(b *testing.B) (*dcf.Session, dcf.Tensor, *dcf.Value) {
+	sess, y, x := buildServingGraph(b)
+	return sess, y, x
+}
+
+func BenchmarkSessionRun(b *testing.B) {
+	sess, y, x := benchSession(b)
+	fetches := []dcf.Tensor{y}
+	if _, err := sess.Run(dcf.Feeds{"x": x}, fetches); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The feed map is built per step, as a request handler would.
+		if _, err := sess.Run(dcf.Feeds{"x": x}, fetches); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallable(b *testing.B) {
+	sess, y, x := benchSession(b)
+	callable, err := sess.MakeCallable(dcf.CallableSpec{Feeds: []string{"x"}, Fetches: []dcf.Tensor{y}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := callable.Call(ctx, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := callable.Call(ctx, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcurrentRun(b *testing.B) {
+	sess, y, x := benchSession(b)
+	callable, err := sess.MakeCallable(dcf.CallableSpec{Feeds: []string{"x"}, Fetches: []dcf.Tensor{y}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := callable.Call(ctx, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := callable.Call(ctx, x); err != nil {
+				b.Error(err) // Fatal must not run on a pb worker goroutine
+				return
+			}
+		}
+	})
+}

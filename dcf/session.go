@@ -1,6 +1,7 @@
 package dcf
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -49,6 +50,13 @@ type SessionOptions struct {
 }
 
 // Session executes a graph. Close it when done if devices were configured.
+//
+// A Session is safe for concurrent use: Run, RunCtx, and Callable.Call may
+// be invoked from many goroutines at once (the serving deployment of the
+// paper's §3 — one graph, many concurrent steps). Each run gets its own
+// executor, step resources, and derived RNG stream; session variables are
+// shared across runs, and concurrent writes to the same variable have
+// last-writer-wins semantics exactly as in TensorFlow.
 type Session struct {
 	g           *Graph
 	s           *core.Session
@@ -124,25 +132,83 @@ func (s *Session) RestoreVariables(path string) error {
 	return checkpoint.RestoreFile(path, s.s.SessRes)
 }
 
-// Run executes the subgraph needed for the fetches and targets, returning
-// fetched values in order.
+// RunStats reports one run's executor activity.
+type RunStats = core.RunStats
+
+// RunMetadata is per-run result metadata, returned by RunCtx and
+// Callable.CallCtx. Unlike Stats it is never shared between concurrent
+// runs.
+type RunMetadata = core.RunMetadata
+
+// RunOptions names the inputs of one RunCtx call.
+type RunOptions struct {
+	// Feeds supplies placeholder values by name.
+	Feeds Feeds
+	// Fetches are the tensors whose values to return, in order.
+	Fetches []Tensor
+	// Targets are ops to execute without fetching (e.g. train steps).
+	Targets []Op
+}
+
+// RunCtx executes the subgraph needed for the fetches and targets under a
+// context: cancellation or deadline expiry stops the executor promptly (no
+// new kernels launch, in-flight work drains, pending cross-device
+// rendezvous fail) and the returned error wraps ctx.Err(), so client
+// disconnects and deadlines stop wasted work.
 //
-// Repeated Runs with the same fetches and targets reuse one cached
+// Repeated runs with the same fetches and targets reuse one cached
 // execution plan (the executor's dense per-node metadata: compact indices,
 // consumer edge lists, frame/window attributes), so steady-state steps pay
-// zero planning cost; adding nodes to the graph invalidates the cache
-// entry. See internal/exec/README.md for the executor's fast-path design.
-func (s *Session) Run(feeds Feeds, fetches []Tensor, targets ...Op) ([]*Value, error) {
-	if s.runOverhead > 0 {
-		time.Sleep(s.runOverhead)
+// zero planning cost; any graph mutation invalidates the cache entry. For
+// the hottest serving paths, MakeCallable removes the remaining per-call
+// signature hashing too. See internal/exec/README.md for the fast-path
+// design.
+func (s *Session) RunCtx(ctx context.Context, opts RunOptions) ([]*Value, RunMetadata, error) {
+	if err := s.sleepOverhead(ctx); err != nil {
+		return nil, RunMetadata{}, err
 	}
+	return s.s.RunCtx(ctx, core.RunOptions{Feeds: opts.Feeds, Fetches: unwrap(opts.Fetches), Targets: opNodes(opts.Targets)})
+}
+
+// opNodes collects the non-nil target nodes.
+func opNodes(targets []Op) []*graph.Node {
 	nodes := make([]*graph.Node, 0, len(targets))
 	for _, t := range targets {
 		if t.n != nil {
 			nodes = append(nodes, t.n)
 		}
 	}
-	return s.s.Run(feeds, unwrap(fetches), nodes)
+	return nodes
+}
+
+// sleepOverhead charges the modeled client↔runtime boundary cost,
+// honoring cancellation.
+func (s *Session) sleepOverhead(ctx context.Context) error {
+	if s.runOverhead <= 0 {
+		return nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(s.runOverhead)
+		return nil
+	}
+	t := time.NewTimer(s.runOverhead)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run executes the subgraph needed for the fetches and targets, returning
+// fetched values in order: a thin shim over the RunCtx path with a
+// background context, additionally recording Stats for legacy callers.
+func (s *Session) Run(feeds Feeds, fetches []Tensor, targets ...Op) ([]*Value, error) {
+	if err := s.sleepOverhead(context.Background()); err != nil {
+		return nil, err
+	}
+	return s.s.Run(feeds, unwrap(fetches), opNodes(targets))
 }
 
 // Run1 fetches a single tensor.
@@ -160,5 +226,59 @@ func (s *Session) RunTargets(feeds Feeds, targets ...Op) error {
 	return err
 }
 
-// Stats reports the last run's executor activity.
-func (s *Session) Stats() core.RunStats { return s.s.LastStats }
+// Stats reports the executor activity of the most recent Run (a
+// session-global counter that concurrent Runs overwrite). Prefer the
+// RunMetadata returned by RunCtx or Callable.CallCtx, which is private to
+// each call.
+func (s *Session) Stats() RunStats { return s.s.LastRunStats() }
+
+// CallableSpec fixes one run signature for MakeCallable.
+type CallableSpec struct {
+	// Feeds are placeholder names, bound positionally by Call's args.
+	Feeds []string
+	// Fetches are returned by each Call, in order.
+	Fetches []Tensor
+	// Targets are executed by each Call without fetching.
+	Targets []Op
+}
+
+// Callable is a pre-compiled run signature: MakeCallable prunes the graph
+// and builds the executor plan once, so steady-state calls pay no pruning,
+// no signature hashing, and no feed-map allocation — the Go analogue of
+// TensorFlow's per-signature executors, built for serving hot paths. A
+// Callable is immutable and safe for concurrent Call from many goroutines.
+type Callable struct {
+	c *core.Callable
+	s *Session
+}
+
+// MakeCallable compiles the spec's run signature once. Create callables
+// after graph construction (including Gradients and Optimize) is complete:
+// a Call made after any later graph mutation fails fast rather than
+// silently executing the stale compiled plan.
+func (s *Session) MakeCallable(spec CallableSpec) (*Callable, error) {
+	c, err := s.s.MakeCallable(core.CallableSpec{
+		Feeds:   spec.Feeds,
+		Fetches: unwrap(spec.Fetches),
+		Targets: opNodes(spec.Targets),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Callable{c: c, s: s}, nil
+}
+
+// Call executes the compiled signature, binding args positionally to the
+// spec's feed names, and returns the fetched values in fetch order.
+func (c *Callable) Call(ctx context.Context, args ...*Value) ([]*Value, error) {
+	out, _, err := c.CallCtx(ctx, args...)
+	return out, err
+}
+
+// CallCtx is Call returning the run's metadata as well.
+func (c *Callable) CallCtx(ctx context.Context, args ...*Value) ([]*Value, RunMetadata, error) {
+	if err := c.s.sleepOverhead(ctx); err != nil {
+		return nil, RunMetadata{}, err
+	}
+	return c.c.CallCtx(ctx, args...)
+}

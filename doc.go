@@ -8,6 +8,17 @@
 // and experiments to modules, and bench_test.go regenerates every table and
 // figure of the paper's evaluation.
 //
+// # Serving
+//
+// The execution API is serving-grade: dcf.Session is safe for concurrent
+// Run/RunCtx/Callable.Call from many goroutines, every entry point has a
+// context-taking variant whose cancellation drains the executor promptly
+// (including cross-partition rendezvous in the distributed runtime), and
+// dcf.Session.MakeCallable pre-compiles a run signature so the hot path
+// pays no pruning, signature hashing, or feed-map allocation per step —
+// the paper's per-signature executors. See examples/serving for an HTTP
+// model server and `cmd/dcfbench -exp serving` for the concurrency sweep.
+//
 // # Runtime performance knobs
 //
 // The executor hot path (internal/exec, see its README.md) is dense-indexed

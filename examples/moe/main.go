@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,14 +37,24 @@ func main() {
 		"x": dcf.RandNormal(3, 0, 1, batch, in),
 		"y": dcf.RandNormal(4, 0, 0.5, batch, out),
 	}
-	first, err := sess.Run1(feeds, loss)
+	ctx := context.Background()
+	firstOut, md, err := sess.RunCtx(ctx, dcf.RunOptions{Feeds: feeds, Fetches: []dcf.Tensor{loss}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	first := firstOut[0]
 	fmt.Printf("%d experts, %d executions in the forward step (conditional computation)\n",
-		experts, sess.Stats().NodesExecuted)
+		experts, md.Stats.NodesExecuted)
+	// The training loop is the hot path: compile its signature once.
+	trainStep, err := sess.MakeCallable(dcf.CallableSpec{
+		Feeds:   []string{"x", "y"},
+		Targets: []dcf.Op{step},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 60; i++ {
-		if err := sess.RunTargets(feeds, step); err != nil {
+		if _, err := trainStep.Call(ctx, feeds["x"], feeds["y"]); err != nil {
 			log.Fatal(err)
 		}
 	}

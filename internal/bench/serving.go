@@ -1,0 +1,137 @@
+// Serving throughput: the paper's deployment (§3) is a multi-tenant server
+// driving one graph with many concurrent steps through per-signature
+// executors. This driver measures that shape directly: one Session, one
+// pre-compiled Callable, N goroutines issuing inference steps, aggregate
+// steps/second per concurrency level. A flat line means some layer
+// serializes runs; healthy numbers hold (or, with >1 core, grow) as
+// concurrency rises.
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/dcf"
+)
+
+// ServingConfig parameterizes the serving-throughput sweep.
+type ServingConfig struct {
+	// MaxConcurrency is the top of the sweep (1,2,4,... up to it).
+	MaxConcurrency int
+	// StepsPerWorker is how many calls each goroutine issues per level.
+	StepsPerWorker int
+	// Hidden is the model width (tanh(x@W1)@W2 with [1,Hidden] inputs).
+	Hidden int
+}
+
+// DefaultServing returns the standard sweep (reduced under quick).
+func DefaultServing(quick bool, maxConcurrency int) ServingConfig {
+	// Hidden=16 keeps every kernel under the executor's inline bound, so
+	// the sweep measures runtime overhead (what Callable removes), not
+	// goroutine-dispatch noise from larger matmuls.
+	cfg := ServingConfig{MaxConcurrency: maxConcurrency, StepsPerWorker: 2000, Hidden: 16}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 8
+	}
+	if quick {
+		cfg.StepsPerWorker = 200
+	}
+	return cfg
+}
+
+// ServingRow is one concurrency level's result.
+type ServingRow struct {
+	Concurrency int
+	StepsPerSec float64
+	// RunStepsPerSec is the same level driven through Session.Run, the
+	// legacy map-feed path, for the callable-vs-run comparison.
+	RunStepsPerSec float64
+}
+
+// Serving runs the sweep and prints a table.
+func Serving(cfg ServingConfig, w io.Writer) ([]ServingRow, error) {
+	g := dcf.NewGraph()
+	x := g.Placeholder("x")
+	w1 := g.Const(dcf.RandNormal(1, 0, 0.3, cfg.Hidden, cfg.Hidden))
+	w2 := g.Const(dcf.RandNormal(2, 0, 0.3, cfg.Hidden, 4))
+	y := x.MatMul(w1).Tanh().MatMul(w2)
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
+	sess := dcf.NewSession(g)
+	callable, err := sess.MakeCallable(dcf.CallableSpec{Feeds: []string{"x"}, Fetches: []dcf.Tensor{y}})
+	if err != nil {
+		return nil, err
+	}
+	input := dcf.RandNormal(3, 0, 1, 1, cfg.Hidden)
+	ctx := context.Background()
+
+	// Warm both paths (plan cache, tensor pool).
+	if _, err := callable.Call(ctx, input); err != nil {
+		return nil, err
+	}
+	if _, err := sess.Run(dcf.Feeds{"x": input}, []dcf.Tensor{y}); err != nil {
+		return nil, err
+	}
+
+	drive := func(workers int, step func() error) (float64, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		start := time.Now()
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < cfg.StepsPerWorker; j++ {
+					if err := step(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return 0, err
+		}
+		return float64(workers*cfg.StepsPerWorker) / elapsed.Seconds(), nil
+	}
+
+	fprintf(w, "Serving throughput (one Session, shared Callable, %d steps/worker)\n", cfg.StepsPerWorker)
+	fprintf(w, "%12s %18s %18s\n", "concurrency", "callable steps/s", "run steps/s")
+	var rows []ServingRow
+	for _, workers := range concurrencyLevels(cfg.MaxConcurrency) {
+		cps, err := drive(workers, func() error {
+			_, err := callable.Call(ctx, input)
+			return err
+		})
+		if err != nil {
+			return rows, fmt.Errorf("serving: callable at concurrency %d: %w", workers, err)
+		}
+		rps, err := drive(workers, func() error {
+			_, err := sess.Run(dcf.Feeds{"x": input}, []dcf.Tensor{y})
+			return err
+		})
+		if err != nil {
+			return rows, fmt.Errorf("serving: run at concurrency %d: %w", workers, err)
+		}
+		rows = append(rows, ServingRow{Concurrency: workers, StepsPerSec: cps, RunStepsPerSec: rps})
+		fprintf(w, "%12d %18.0f %18.0f\n", workers, cps, rps)
+	}
+	return rows, nil
+}
+
+// concurrencyLevels returns 1,2,4,... capped at max (max always included).
+func concurrencyLevels(max int) []int {
+	var out []int
+	for c := 1; c < max; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, max)
+}

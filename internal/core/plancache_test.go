@@ -14,6 +14,7 @@ func TestPlanCacheReusedAcrossRuns(t *testing.T) {
 	b := NewBuilder()
 	x := b.Placeholder("x")
 	y := b.Square(x)
+	z := b.Neg(x)
 	fetches := []graph.Output{y}
 
 	s := NewSession(b)
@@ -45,12 +46,37 @@ func TestPlanCacheReusedAcrossRuns(t *testing.T) {
 	}
 
 	// A different signature builds (and caches) a second plan.
-	z := b.Neg(x)
 	if _, _, err := s.planFor([]graph.Output{z}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.plans) != 2 {
 		t.Fatalf("plan cache holds %d entries, want 2", len(s.plans))
+	}
+}
+
+// TestPlanCacheEvictsStaleGenerations asserts a graph mutation does not
+// accrete dead plans: the cache drops the previous version's entries when
+// the first post-mutation plan is built.
+func TestPlanCacheEvictsStaleGenerations(t *testing.T) {
+	b := NewBuilder()
+	x := b.Const(tensor.Scalar(2))
+	y := b.Square(x)
+	z := b.Neg(x)
+	s := NewSession(b)
+	for _, f := range []graph.Output{y, z} {
+		if _, _, err := s.planFor([]graph.Output{f}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.plans) != 2 {
+		t.Fatalf("plan cache holds %d entries, want 2", len(s.plans))
+	}
+	w := b.Square(y) // mutate: bumps the graph version
+	if _, _, err := s.planFor([]graph.Output{w}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.plans) != 1 {
+		t.Fatalf("stale generation not evicted: %d entries, want 1", len(s.plans))
 	}
 }
 
@@ -72,5 +98,38 @@ func TestPlanCacheInvalidatedByGraphGrowth(t *testing.T) {
 	}
 	if p1 == p2 {
 		t.Fatal("graph growth must invalidate the cached plan signature")
+	}
+}
+
+// TestPlanCacheInvalidatedByInPlaceRewrite asserts the satellite fix for
+// the versioned cache key: an optimizer-style rewrite that redirects an
+// edge WITHOUT changing the node count must not serve the stale plan (the
+// old NumNodes()-based signature could not see it).
+func TestPlanCacheInvalidatedByInPlaceRewrite(t *testing.T) {
+	b := NewBuilder()
+	a := b.Const(tensor.Scalar(3))
+	c := b.Const(tensor.Scalar(5))
+	sum := b.Add(a, a)
+	s := NewSession(b)
+	out, err := s.Run(nil, []graph.Output{sum}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ScalarValue() != 6 {
+		t.Fatalf("got %v want 6", out[0])
+	}
+	// Rewire Add's second input in place (what CSE/folding do); node
+	// count is unchanged.
+	before := b.G.NumNodes()
+	sum.Node.ReplaceInput(1, c)
+	if b.G.NumNodes() != before {
+		t.Fatal("rewrite must not change the node count for this test to be meaningful")
+	}
+	out, err = s.Run(nil, []graph.Output{sum}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ScalarValue() != 8 {
+		t.Fatalf("stale plan served after in-place rewrite: got %v want 8", out[0])
 	}
 }

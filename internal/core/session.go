@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -16,13 +19,17 @@ import (
 // placement within one process is supported directly; the distributed
 // runtime (internal/distrib) builds on the same executor with partitioned
 // graphs.
+//
+// A Session is safe for concurrent use: Run, RunCtx, and Callable.Call may
+// be invoked from many goroutines at once. Each run gets its own executor,
+// its own step resources, and its own derived RNG stream; the plan cache is
+// lock-guarded; session variables are shared (reads race with concurrent
+// writes exactly as in TensorFlow — coordinate training steps yourself).
 type Session struct {
 	B *Builder
 
 	// SessRes holds variables across runs.
 	SessRes *ops.Resources
-	// RNG seeds random ops, advancing across runs.
-	RNG *tensor.RNG
 	// Mem and Runner configure per-device memory systems and kernel
 	// runners (both may be nil).
 	Mem    func(device string) ops.DeviceMem
@@ -30,14 +37,25 @@ type Session struct {
 	// ParallelIterations is the default loop window (0 = executor
 	// default of 32).
 	ParallelIterations int
-	// LastStats records the node-execution count of the last Run.
-	LastStats RunStats
 
+	// baseSeed and runSeq derive a private RNG stream per run, so
+	// concurrent runs never contend on (or race over) one generator.
+	baseSeed uint64
+	runSeq   atomic.Uint64
+
+	// mu guards the plan cache; statsMu guards lastStats.
+	mu sync.RWMutex
 	// plans caches pruned subgraphs and executor plans per run signature
-	// (fetches + targets), like TensorFlow's per-signature executors.
-	// The cache assumes the graph is not mutated between Runs that share
-	// a signature.
-	plans map[string]*exec.Plan
+	// (fetches + targets + graph version), like TensorFlow's
+	// per-signature executors. The graph version component invalidates
+	// entries on any mutation, including in-place optimizer rewrites;
+	// plansVersion tracks which version the cache holds so stale
+	// generations are dropped rather than accreted.
+	plans        map[string]*exec.Plan
+	plansVersion uint64
+
+	statsMu   sync.Mutex
+	lastStats RunStats
 }
 
 // RunStats reports executor activity for one run.
@@ -46,10 +64,32 @@ type RunStats struct {
 	NodesInRun    int
 }
 
+// RunMetadata is the per-run result metadata returned by RunCtx and
+// Callable.CallCtx; unlike the legacy LastRunStats it is never shared
+// between concurrent runs.
+type RunMetadata struct {
+	Stats RunStats
+}
+
+// RunOptions names the inputs of one RunCtx call.
+type RunOptions struct {
+	Feeds   map[string]*tensor.Tensor
+	Fetches []graph.Output
+	Targets []*graph.Node
+}
+
 // NewSession creates a session over the builder's graph.
 func NewSession(b *Builder) *Session {
-	return &Session{B: b, SessRes: ops.NewResources(), RNG: tensor.NewRNG(42),
+	return &Session{B: b, SessRes: ops.NewResources(), baseSeed: 42,
 		plans: map[string]*exec.Plan{}}
+}
+
+// stepRNG derives a fresh deterministic RNG stream for one run: the n-th
+// run of a session always sees the same stream, and no two runs share a
+// generator (splitmix-style increment keeps streams well separated).
+func (s *Session) stepRNG() *tensor.RNG {
+	n := s.runSeq.Add(1)
+	return tensor.NewRNG(s.baseSeed + n*0x9E3779B97F4A7C15)
 }
 
 // InitVariables runs all variable initializer ops recorded by the builder.
@@ -64,44 +104,83 @@ func (s *Session) InitVariables() error {
 }
 
 // Run executes the subgraph needed for fetches and targets with the given
-// feeds, returning the fetched tensors in order.
+// feeds, returning the fetched tensors in order. It is a thin shim over
+// RunCtx that additionally records LastRunStats for legacy callers.
 func (s *Session) Run(feeds map[string]*tensor.Tensor, fetches []graph.Output, targets []*graph.Node) ([]*tensor.Tensor, error) {
+	vals, md, err := s.RunCtx(context.Background(), RunOptions{Feeds: feeds, Fetches: fetches, Targets: targets})
+	// Planning-stage failures never reached an executor; keep the last
+	// completed run's stats rather than zeroing them.
+	if err == nil || md != (RunMetadata{}) {
+		s.statsMu.Lock()
+		s.lastStats = md.Stats
+		s.statsMu.Unlock()
+	}
+	return vals, err
+}
+
+// RunCtx executes one step under a context: cancellation or deadline expiry
+// stops the executor promptly (no new kernels launch, in-flight work
+// drains) and returns an error wrapping ctx.Err(). The returned
+// RunMetadata is private to this call, so RunCtx is safe to invoke from
+// many goroutines against one Session.
+func (s *Session) RunCtx(ctx context.Context, opts RunOptions) ([]*tensor.Tensor, RunMetadata, error) {
+	var md RunMetadata
 	if err := s.B.Err(); err != nil {
-		return nil, fmt.Errorf("core: graph has a construction error: %w", err)
+		return nil, md, fmt.Errorf("core: graph has a construction error: %w", err)
 	}
-	plan, nodeCount, err := s.planFor(fetches, targets)
+	plan, nodeCount, err := s.planFor(opts.Fetches, opts.Targets)
 	if err != nil {
-		return nil, err
+		return nil, md, err
 	}
+	return s.runPlan(ctx, plan, opts.Feeds, nil, nodeCount)
+}
+
+// runPlan is the shared executor-driving tail of RunCtx and
+// Callable.CallCtx: build one step's executor over a compiled plan, run
+// it, and convert the fetched values. Exactly one of feeds/feeder is set.
+func (s *Session) runPlan(ctx context.Context, plan *exec.Plan, feeds map[string]*tensor.Tensor, feeder exec.Feeder, nodeCount int) ([]*tensor.Tensor, RunMetadata, error) {
+	var md RunMetadata
 	ex, err := exec.NewFromPlan(plan, exec.Config{
+		Ctx:                ctx,
 		Feeds:              feeds,
+		Feeder:             feeder,
 		SessionRes:         s.SessRes,
-		RNG:                s.RNG,
+		RNG:                s.stepRNG(),
 		Mem:                s.Mem,
 		Runner:             s.Runner,
 		ParallelIterations: s.ParallelIterations,
 	})
 	if err != nil {
-		return nil, err
+		return nil, md, err
 	}
 	vals, err := ex.Run()
-	s.LastStats = RunStats{NodesExecuted: ex.NumKernels(), NodesInRun: nodeCount}
+	md.Stats = RunStats{NodesExecuted: ex.NumKernels(), NodesInRun: nodeCount}
 	if err != nil {
-		return nil, err
+		return nil, md, err
 	}
 	out := make([]*tensor.Tensor, len(vals))
 	for i, v := range vals {
 		t, err := v.Tensor()
 		if err != nil {
-			return nil, fmt.Errorf("core: fetch %d: %w", i, err)
+			return nil, md, fmt.Errorf("core: fetch %d: %w", i, err)
 		}
 		out[i] = t
 	}
-	return out, nil
+	return out, md, nil
+}
+
+// LastRunStats reports the executor activity recorded by the most recent
+// legacy Run call. Runs through RunCtx and Callables do not touch it —
+// concurrent callers should use the RunMetadata their own call returned.
+func (s *Session) LastRunStats() RunStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastStats
 }
 
 // planFor returns (building and caching on first use) the executor plan
-// for a run signature.
+// for a run signature. The fast path takes only a read lock, so concurrent
+// steady-state runs do not serialize on the cache.
 func (s *Session) planFor(fetches []graph.Output, targets []*graph.Node) (*exec.Plan, int, error) {
 	var sig strings.Builder
 	for _, f := range fetches {
@@ -110,13 +189,31 @@ func (s *Session) planFor(fetches []graph.Output, targets []*graph.Node) (*exec.
 	for _, t := range targets {
 		fmt.Fprintf(&sig, "t:%d;", t.ID())
 	}
-	// Include the graph size: new nodes (e.g. a later Gradients call)
-	// invalidate prior prunes.
-	fmt.Fprintf(&sig, "n:%d", s.B.G.NumNodes())
-	if s.plans == nil {
-		s.plans = map[string]*exec.Plan{}
+	// Include the graph version: any mutation — growth (e.g. a later
+	// Gradients call) or an in-place rewrite (Optimize's CSE/folding) —
+	// invalidates prior prunes.
+	v := s.B.G.Version()
+	fmt.Fprintf(&sig, "v:%d", v)
+	key := sig.String()
+
+	s.mu.RLock()
+	p, ok := s.plans[key]
+	s.mu.RUnlock()
+	if ok {
+		return p, len(p.Nodes()), nil
 	}
-	if p, ok := s.plans[sig.String()]; ok {
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Every cached key embeds the graph version, so a version change
+	// strands the whole previous generation: clear it instead of letting
+	// a long-lived session that interleaves mutation with runs accrete
+	// dead plans.
+	if s.plans == nil || s.plansVersion != v {
+		s.plans = map[string]*exec.Plan{}
+		s.plansVersion = v
+	}
+	if p, ok := s.plans[key]; ok {
 		return p, len(p.Nodes()), nil
 	}
 	nodes := Prune(s.B.G, fetches, targets)
@@ -124,7 +221,7 @@ func (s *Session) planFor(fetches []graph.Output, targets []*graph.Node) (*exec.
 	if err != nil {
 		return nil, 0, err
 	}
-	s.plans[sig.String()] = p
+	s.plans[key] = p
 	return p, len(nodes), nil
 }
 
@@ -135,6 +232,99 @@ func (s *Session) Run1(feeds map[string]*tensor.Tensor, fetch graph.Output) (*te
 		return nil, err
 	}
 	return out[0], nil
+}
+
+// CallableSpec fixes one run signature for MakeCallable: feeds are named
+// placeholders bound positionally at call time; fetches and targets are
+// the outputs and ops of every call.
+type CallableSpec struct {
+	Feeds   []string
+	Fetches []graph.Output
+	Targets []*graph.Node
+}
+
+// Callable is a pre-compiled run signature: the pruned subgraph and
+// executor plan are built once at MakeCallable, so the steady-state call
+// path performs no pruning, no signature hashing, and no feed-map
+// construction — the per-signature executor of the paper's server runtime.
+// A Callable is immutable and safe for concurrent Call from many
+// goroutines.
+type Callable struct {
+	s         *Session
+	plan      *exec.Plan
+	feedNames []string
+	nodeCount int
+	// version is the graph version the plan was compiled against; Call
+	// fails fast if the graph has mutated since, rather than silently
+	// serving a stale plan.
+	version uint64
+}
+
+// MakeCallable compiles the run signature once and returns the handle.
+// Create callables after graph construction is complete: a Call made after
+// any later graph mutation fails fast (the compiled plan would be stale).
+func (s *Session) MakeCallable(spec CallableSpec) (*Callable, error) {
+	if err := s.B.Err(); err != nil {
+		return nil, fmt.Errorf("core: graph has a construction error: %w", err)
+	}
+	nodes := Prune(s.B.G, spec.Fetches, spec.Targets)
+	// Feeds outside the pruned subgraph are legal (ignored), as in
+	// Session.Run, but a name that is not a placeholder — or appears
+	// twice, which would silently drop all but the first bound arg — is
+	// a spec bug worth failing fast on.
+	seen := make(map[string]bool, len(spec.Feeds))
+	for _, name := range spec.Feeds {
+		n := s.B.G.ByName(name)
+		if n == nil || n.Op() != "Placeholder" {
+			return nil, fmt.Errorf("core: callable feed %q is not a placeholder", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("core: callable feed %q appears twice", name)
+		}
+		seen[name] = true
+	}
+	plan, err := exec.NewPlan(s.B.G, nodes, spec.Fetches)
+	if err != nil {
+		return nil, err
+	}
+	return &Callable{
+		s:         s,
+		plan:      plan,
+		feedNames: append([]string(nil), spec.Feeds...),
+		nodeCount: len(nodes),
+		version:   s.B.G.Version(),
+	}, nil
+}
+
+// positionalFeeder binds call arguments to the callable's feed names by
+// position; the linear scan over a handful of names beats building and
+// hashing a map per call.
+type positionalFeeder struct {
+	names []string
+	vals  []*tensor.Tensor
+}
+
+func (f *positionalFeeder) Feed(name string) (*tensor.Tensor, bool) {
+	for i, n := range f.names {
+		if n == name {
+			return f.vals[i], f.vals[i] != nil
+		}
+	}
+	return nil, false
+}
+
+// CallCtx executes the compiled signature with args bound positionally to
+// the spec's feed names, returning fetched tensors in fetch order.
+func (c *Callable) CallCtx(ctx context.Context, args ...*tensor.Tensor) ([]*tensor.Tensor, RunMetadata, error) {
+	if len(args) != len(c.feedNames) {
+		return nil, RunMetadata{}, fmt.Errorf("core: callable takes %d feeds (%v), got %d args",
+			len(c.feedNames), c.feedNames, len(args))
+	}
+	if v := c.s.B.G.Version(); v != c.version {
+		return nil, RunMetadata{}, fmt.Errorf("core: callable is stale: graph mutated since MakeCallable (version %d, now %d)",
+			c.version, v)
+	}
+	return c.s.runPlan(ctx, c.plan, nil, &positionalFeeder{names: c.feedNames, vals: args}, c.nodeCount)
 }
 
 // Prune returns the nodes transitively required by fetches and targets
@@ -159,10 +349,10 @@ func Prune(g *graph.Graph, fetches []graph.Output, targets []*graph.Node) []*gra
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, in := range n.Inputs() {
+		for _, in := range n.InputsRef() {
 			push(in.Node)
 		}
-		for _, c := range n.ControlInputs() {
+		for _, c := range n.ControlInputsRef() {
 			push(c)
 		}
 	}

@@ -1,0 +1,71 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestClusterRunCtxCancel cancels a cross-device while loop far too long to
+// finish: every partition must stop promptly (the loop driver via the
+// dispatcher's cancel poll, the body partition via the rendezvous abort)
+// and no executor goroutines may leak.
+func TestClusterRunCtxCancel(t *testing.T) {
+	b := core.NewBuilder()
+	var outs []graph.Output
+	b.WithDevice("dev:0", func() {
+		outs = b.While(
+			[]graph.Output{b.Scalar(0)},
+			func(v []graph.Output) graph.Output { return b.Less(v[0], b.Scalar(1e12)) },
+			func(v []graph.Output) []graph.Output {
+				var r graph.Output
+				b.WithDevice("dev:1", func() {
+					r = b.Add(v[0], b.Scalar(1))
+				})
+				return []graph.Output{r}
+			},
+			core.WhileOpts{},
+		)
+	})
+	c, err := NewCluster(b, []graph.Output{outs[0]}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.RunCtx(ctx, nil)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster step did not return after cancel")
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines polls until the goroutine count settles back to (near)
+// the baseline, failing if canceled executors leaked workers.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after cancel: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

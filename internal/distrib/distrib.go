@@ -13,6 +13,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -141,6 +142,14 @@ func (c *Cluster) Partitions() map[string]int {
 // and coordinate only through the rendezvous; the first failure aborts the
 // step.
 func (c *Cluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return c.RunCtx(context.Background(), feeds)
+}
+
+// RunCtx is Run under a context: when ctx is canceled (deadline, client
+// disconnect) every partition's executor stops launching kernels, the
+// shared rendezvous aborts so cross-partition Recvs drain instead of
+// blocking, and the step returns an error wrapping ctx.Err().
+func (c *Cluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
 	fetches := c.fetches
 	c.mu.Lock()
 	c.step++
@@ -165,6 +174,7 @@ func (c *Cluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error)
 			// The cached plan fixes Nodes and Fetches; only the
 			// per-step state varies.
 			ex, err := exec.NewFromPlan(c.plans[dev], exec.Config{
+				Ctx:                ctx,
 				Feeds:              feeds,
 				StepRes:            stepRes,
 				SessionRes:         c.sessRes,

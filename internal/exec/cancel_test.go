@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	b := newTB(t)
+	exit := buildCounterLoop(b, 10, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex, err := New(Config{Graph: b.g, Fetches: []graph.Output{exit}, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunCanceledMidLoop(t *testing.T) {
+	// A loop far too long to finish within the test: cancellation must
+	// stop it promptly, with the dispatcher noticing cancel from inside
+	// the inline path (loop bookkeeping never touches the events channel).
+	b := newTB(t)
+	exit := buildCounterLoop(b, 1e12, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	ex, err := New(Config{Graph: b.g, Fetches: []graph.Output{exit}, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, err := ex.Run()
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	b := newTB(t)
+	exit := buildCounterLoop(b, 1e12, 1, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ex, err := New(Config{Graph: b.g, Fetches: []graph.Output{exit}, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ex.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want context.DeadlineExceeded, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after deadline")
+	}
+}
+
+// TestCancelFailsPendingRecv asserts a canceled step releases executors
+// blocked in rendezvous Recv (the cross-partition drain path).
+func TestCancelFailsPendingRecv(t *testing.T) {
+	b := newTB(t)
+	recv := b.node("Recv", map[string]any{SendKeyAttr: "never"})
+	ctx, cancel := context.WithCancel(context.Background())
+	ex, err := New(Config{
+		Graph:      b.g,
+		Fetches:    []graph.Output{recv.Out(0)},
+		Ctx:        ctx,
+		Rendezvous: blockingRendezvous{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ex.Run()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return: pending Recv was not released by cancel")
+	}
+}
+
+// blockingRendezvous never produces a value; Recv honors only the cancel
+// channel, standing in for a peer that never sends.
+type blockingRendezvous struct{}
+
+func (blockingRendezvous) Send(key string, t Token) error { return nil }
+
+func (blockingRendezvous) Recv(key string, cancel <-chan struct{}) (Token, error) {
+	<-cancel
+	return Token{}, errors.New("rendezvous: canceled")
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -27,6 +28,15 @@ type Config struct {
 	Nodes []*graph.Node
 	// Feeds supplies placeholder values by node name.
 	Feeds map[string]*tensor.Tensor
+	// Feeder, if set, resolves placeholder feeds instead of Feeds.
+	// Pre-compiled callables use a positional feeder so the steady-state
+	// serving path allocates no map per step.
+	Feeder Feeder
+	// Ctx carries step cancellation. When it is canceled the dispatcher
+	// stops launching work, fails pending rendezvous operations, drains
+	// in-flight kernels, and Run returns an error wrapping ctx.Err().
+	// Nil means the step cannot be canceled.
+	Ctx context.Context
 	// Fetches are the outputs whose root-frame values to return.
 	Fetches []graph.Output
 	// StepRes is the per-step resource container (stacks, TensorArrays);
@@ -263,6 +273,10 @@ type Executor struct {
 
 	events chan doneMsg
 	quit   chan struct{}
+	// done is the step's cancellation signal (nil when cfg.Ctx is nil);
+	// the dispatcher nils it after it fires so a closed channel is
+	// observed exactly once.
+	done <-chan struct{}
 
 	outstanding int
 	firstErr    error
@@ -418,6 +432,13 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 		par = DefaultParallelIterations
 	}
 	evBuf := len(plan.nodes) * par
+	if len(plan.frames) == 0 {
+		// A frame-less (acyclic) plan executes each node exactly once,
+		// so one slot per node already guarantees kernel goroutines
+		// never block on a full channel; inference-shaped serving steps
+		// allocate window-times less per call.
+		evBuf = len(plan.nodes)
+	}
 	if evBuf > maxEventsBuffer {
 		evBuf = maxEventsBuffer
 	}
@@ -429,6 +450,9 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 		plan:   plan,
 		events: make(chan doneMsg, evBuf),
 		quit:   make(chan struct{}),
+	}
+	if cfg.Ctx != nil {
+		ex.done = cfg.Ctx.Done() // nil for Background/TODO: no cancel path
 	}
 	ex.fetched = make([]Token, len(cfg.Fetches))
 	ex.fetchOK = make([]bool, len(cfg.Fetches))
@@ -457,11 +481,17 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 	if rng == nil {
 		rng = tensor.NewRNG(1)
 	}
-	ex.env = &stepEnv{feeds: cfg.Feeds, step: step, sess: sess, rng: rng}
+	feeder := cfg.Feeder
+	if feeder == nil && cfg.Feeds != nil {
+		feeder = mapFeeder(cfg.Feeds)
+	}
+	ex.env = &stepEnv{feeder: feeder, step: step, sess: sess, rng: rng}
 	return ex, nil
 }
 
 func newFrame(name string, frameID int32, parent *frameState, parentIter, parallel int) *frameState {
+	// children and liveExits stay nil until first use: most frames have
+	// neither, and serving-shaped acyclic steps build one frame per call.
 	f := &frameState{
 		name:       name,
 		frameID:    frameID,
@@ -469,8 +499,6 @@ func newFrame(name string, frameID int32, parent *frameState, parentIter, parall
 		parentIter: parentIter,
 		parallel:   parallel,
 		ring:       make([]*iterState, parallel),
-		children:   map[childKey]*frameState{},
-		liveExits:  map[int32]bool{},
 	}
 	if parent != nil {
 		f.tagPrefix = parent.tag(parentIter)
@@ -480,27 +508,36 @@ func newFrame(name string, frameID int32, parent *frameState, parentIter, parall
 
 // stepEnv implements ops.Env.
 type stepEnv struct {
-	feeds map[string]*tensor.Tensor
-	step  *ops.Resources
-	sess  *ops.Resources
-	rng   *tensor.RNG
+	feeder Feeder
+	step   *ops.Resources
+	sess   *ops.Resources
+	rng    *tensor.RNG
 }
 
 func (e *stepEnv) Feed(name string) (*tensor.Tensor, bool) {
-	t, ok := e.feeds[name]
-	return t, ok
+	if e.feeder == nil {
+		return nil, false
+	}
+	return e.feeder.Feed(name)
 }
 func (e *stepEnv) StepRes() *ops.Resources    { return e.step }
 func (e *stepEnv) SessionRes() *ops.Resources { return e.sess }
 func (e *stepEnv) RNG() *tensor.RNG           { return e.rng }
 
 // Run executes the partition to completion and returns the fetched values.
+// If the config's context is canceled mid-step, no further kernels launch,
+// pending rendezvous operations fail, in-flight kernels drain, and Run
+// returns an error wrapping the context's error.
 func (ex *Executor) Run() ([]ops.Value, error) {
+	if ex.cfg.Ctx != nil && ex.cfg.Ctx.Err() != nil {
+		return nil, fmt.Errorf("exec: step canceled: %w", context.Cause(ex.cfg.Ctx))
+	}
 	it := ex.iteration(ex.root, 0)
 	for _, idx := range ex.plan.sources {
 		ex.schedule(idx, ex.root, it)
 	}
 	for ex.outstanding > 0 {
+		ex.pollCancel()
 		// Inline-eligible executions (control-flow primitives: pure
 		// token bookkeeping) run on the dispatcher itself, skipping a
 		// goroutine round trip per token. Real kernels stay on their
@@ -510,10 +547,24 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 		if k := len(ex.inlineQ); k > 0 {
 			item := ex.inlineQ[k-1]
 			ex.inlineQ = ex.inlineQ[:k-1]
-			outs, err := ex.runNode(item.idx, item.inputs, item.tag, item.deadCtl)
-			msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter, outs: outs, err: err}
+			if ex.firstErr != nil {
+				// The step already failed (error or cancel): account
+				// for the queued execution without running it.
+				msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter}
+			} else {
+				outs, err := ex.runNode(item.idx, item.inputs, item.tag, item.deadCtl)
+				msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter, outs: outs, err: err}
+			}
 		} else {
-			msg = <-ex.events
+			select {
+			case msg = <-ex.events:
+			case <-ex.done:
+				// done is nil unless a cancelable context was given, and
+				// is nilled once it fires, so this arm triggers at most
+				// once (a nil channel blocks forever).
+				ex.cancelStep()
+				continue
+			}
 		}
 		if msg.err != nil && ex.firstErr == nil {
 			ex.firstErr = msg.err
@@ -555,6 +606,27 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 
 // NumKernels reports how many node executions ran (for tests/stats).
 func (ex *Executor) NumKernels() int { return ex.numKernels }
+
+// pollCancel notices cancellation without blocking; the dispatcher calls it
+// every turn because it can stay in the inline queue for a long time (loop
+// bookkeeping is all inline) without ever touching the events channel.
+func (ex *Executor) pollCancel() {
+	if ex.done == nil {
+		return
+	}
+	select {
+	case <-ex.done:
+		ex.cancelStep()
+	default:
+	}
+}
+
+// cancelStep fails the step with the context's cancellation cause. Closing
+// quit (via fail) wakes rendezvous Recvs so blocked partitions drain.
+func (ex *Executor) cancelStep() {
+	ex.fail(fmt.Errorf("exec: step canceled: %w", context.Cause(ex.cfg.Ctx)))
+	ex.done = nil
+}
 
 // lookupIter returns iteration i of the frame if it is live, else nil.
 func lookupIter(f *frameState, i int) *iterState {
@@ -637,6 +709,9 @@ func (ex *Executor) childFrame(f *frameState, info *nodeInfo, iter int) *frameSt
 		par = DefaultParallelIterations
 	}
 	c := newFrame(ex.plan.frames[info.frameID].name, info.frameID, f, iter, par)
+	if f.children == nil {
+		f.children = map[childKey]*frameState{}
+	}
 	f.children[key] = c
 	return c
 }
@@ -1132,6 +1207,9 @@ func (ex *Executor) propagate(idx int32, fs *frameState, iter int, outs []Token)
 			// does, frame finalization delivers one dead token.
 			fs.deadExits = append(fs.deadExits, idx)
 			return
+		}
+		if fs.liveExits == nil {
+			fs.liveExits = map[int32]bool{}
 		}
 		fs.liveExits[idx] = true
 		ex.deliverSingle(idx, fs.parent, fs.parentIter, outs[0])

@@ -134,7 +134,8 @@ func TestRingStateIsolationAcrossIterations(t *testing.T) {
 }
 
 // TestEventsChannelSizedFromPlan checks the completion-channel heuristic:
-// small plans get small buffers, huge plans are capped.
+// acyclic plans get one slot per node (each node executes exactly once),
+// loop plans scale with the window, and huge plans are capped.
 func TestEventsChannelSizedFromPlan(t *testing.T) {
 	b := newTB(t)
 	sq := b.node("Square", nil, b.scalar(2))
@@ -142,11 +143,23 @@ func TestEventsChannelSizedFromPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := b.g.NumNodes() * DefaultParallelIterations
-	if cap(ex.events) != want {
-		t.Fatalf("events buffer %d, want nodes*window = %d", cap(ex.events), want)
+	if want := b.g.NumNodes(); cap(ex.events) != want {
+		t.Fatalf("acyclic events buffer %d, want one per node = %d", cap(ex.events), want)
 	}
 	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	lb := newTB(t)
+	exit := buildCounterLoop(lb, 5, 1, 0)
+	lex, err := New(Config{Graph: lb.g, Fetches: []graph.Output{exit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := lb.g.NumNodes() * DefaultParallelIterations; cap(lex.events) != want {
+		t.Fatalf("loop events buffer %d, want nodes*window = %d", cap(lex.events), want)
+	}
+	if _, err := lex.Run(); err != nil {
 		t.Fatal(err)
 	}
 }

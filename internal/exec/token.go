@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/tensor"
 
 	// Register the stack and TensorArray kernels with the op registry;
 	// every executor must be able to run them.
@@ -49,6 +50,22 @@ type Token struct {
 	// buffer may be forwarded into a kernel's output or recycled into the
 	// tensor pool. See internal/exec/README.md for the ownership rule.
 	Owned bool
+}
+
+// Feeder resolves placeholder feeds by node name. The executor wraps plain
+// feed maps in one; pre-compiled callables supply a positional implementation
+// so the steady-state serving path performs no map construction or hashing.
+type Feeder interface {
+	// Feed returns the value fed for the named placeholder, if any.
+	Feed(name string) (*tensor.Tensor, bool)
+}
+
+// mapFeeder adapts a Config.Feeds map to the Feeder interface.
+type mapFeeder map[string]*tensor.Tensor
+
+func (m mapFeeder) Feed(name string) (*tensor.Tensor, bool) {
+	t, ok := m[name]
+	return t, ok
 }
 
 // Rendezvous exchanges tokens between executors (the Send/Recv mechanism of

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Output identifies a single output port of a node: the source of a data
@@ -97,7 +98,10 @@ func (n *Node) Out(i int) Output { return Output{n, i} }
 func (n *Node) Device() string { return n.device }
 
 // SetDevice assigns the node to a device.
-func (n *Node) SetDevice(d string) { n.device = d }
+func (n *Node) SetDevice(d string) {
+	n.device = d
+	n.graph.bumpVersion()
+}
 
 // Graph returns the owning graph.
 func (n *Node) Graph() *Graph { return n.graph }
@@ -115,6 +119,7 @@ func (n *Node) SetAttr(key string, v any) {
 		n.attrs = map[string]any{}
 	}
 	n.attrs[key] = v
+	n.graph.bumpVersion()
 }
 
 // AttrString returns a string attribute (or "" if absent).
@@ -165,12 +170,14 @@ func (n *Node) AddControlInput(c *Node) {
 		}
 	}
 	n.controlIn = append(n.controlIn, c)
+	n.graph.bumpVersion()
 }
 
 // ReplaceInput redirects the i-th data input to a new source (used by
-// partition rewriting).
+// partition rewriting and the optimizer's CSE/folding rewrites).
 func (n *Node) ReplaceInput(i int, src Output) {
 	n.inputs[i] = src
+	n.graph.bumpVersion()
 }
 
 // ReplaceControlInput swaps a control dependency for another (used by
@@ -179,6 +186,7 @@ func (n *Node) ReplaceControlInput(old, new *Node) {
 	for i, c := range n.controlIn {
 		if c == old {
 			n.controlIn[i] = new
+			n.graph.bumpVersion()
 			return
 		}
 	}
@@ -191,7 +199,21 @@ type Graph struct {
 	nodes      []*Node
 	byName     map[string]*Node
 	nameCounts map[string]int
+
+	// version counts structural mutations: node additions and in-place
+	// edge/attribute rewrites (the optimizer's CSE and constant folding
+	// rewire inputs without changing the node count). Caches keyed on
+	// graph identity — notably the session plan cache — fold it into
+	// their keys so a rewrite can never serve a stale plan.
+	version atomic.Uint64
 }
+
+// Version returns the mutation counter. It increases monotonically with
+// every AddNode and every in-place rewrite (ReplaceInput, AddControlInput,
+// SetAttr, SetDevice, ...); equal versions imply an unchanged structure.
+func (g *Graph) Version() uint64 { return g.version.Load() }
+
+func (g *Graph) bumpVersion() { g.version.Add(1) }
 
 // New returns an empty graph.
 func New() *Graph {
@@ -271,6 +293,7 @@ func (g *Graph) AddNode(args NodeArgs) (*Node, error) {
 	}
 	g.nodes = append(g.nodes, n)
 	g.byName[name] = n
+	g.bumpVersion()
 	return n, nil
 }
 

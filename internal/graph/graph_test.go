@@ -200,3 +200,31 @@ func TestNodeString(t *testing.T) {
 		t.Fatalf("String: %s", s)
 	}
 }
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	g := New()
+	v0 := g.Version()
+	a := addN(t, g, "Const", "a", 1)
+	b := addN(t, g, "Neg", "b", 1, a.Out(0))
+	if g.Version() == v0 {
+		t.Fatal("AddNode must bump the version")
+	}
+	// In-place rewrites (what CSE/folding do) must bump it too, even
+	// though the node count is unchanged.
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ReplaceInput", func() { b.ReplaceInput(0, a.Out(0)) }},
+		{"AddControlInput", func() { b.AddControlInput(a) }},
+		{"SetAttr", func() { b.SetAttr("k", 1) }},
+		{"SetDevice", func() { b.SetDevice("gpu:0") }},
+	}
+	for _, c := range cases {
+		before := g.Version()
+		c.fn()
+		if g.Version() == before {
+			t.Fatalf("%s must bump the version", c.name)
+		}
+	}
+}
