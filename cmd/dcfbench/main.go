@@ -7,6 +7,8 @@
 //	dcfbench -exp fig13 -out fig13_timeline.txt
 //	dcfbench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dcfbench -exp serving -concurrency 16
+//	dcfbench -quick -json BENCH.json       # machine-readable results
+//	dcfbench -exp fig11 -workers 4 -fuse   # A/B the executor knobs
 //
 // Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn,
 // ablations, serving. The serving experiment drives a shared pre-compiled
@@ -15,6 +17,13 @@
 // The -cpuprofile/-memprofile flags write pprof profiles covering the
 // selected experiments, so perf work on the figures needs no code edits:
 // go tool pprof cpu.pprof.
+//
+// The executor knobs apply to every experiment: -workers N sizes the
+// kernel worker pool (-workers -1 restores the legacy goroutine-per-kernel
+// dispatch, the pool's A/B baseline), and -fuse compiles elementwise
+// chains into fused nodes before execution. -json writes the selected
+// experiments' rows plus elapsed/alloc counters as one JSON document (the
+// BENCH_*.json files tracking the perf trajectory across PRs).
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -40,7 +50,12 @@ func run1() int {
 	out := flag.String("out", "", "also write figure artifacts (fig13 timeline / chrome trace) to this path prefix")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
+	jsonOut := flag.String("json", "", "write machine-readable results (rows, elapsed ns, allocs, steps/sec) to this file")
+	workers := flag.Int("workers", 0, "kernel worker pool size per step (0 = default, -1 = legacy goroutine-per-kernel)")
+	fuse := flag.Bool("fuse", false, "fuse elementwise chains in every experiment graph before execution")
 	flag.Parse()
+	bench.Workers = *workers
+	bench.Fuse = *fuse
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -70,17 +85,14 @@ func run1() int {
 		}()
 	}
 
-	run := func(id string) error {
+	run := func(id string) (any, error) {
 		switch id {
 		case "fig11":
-			_, err := bench.Fig11(bench.DefaultFig11(*quick), os.Stdout)
-			return err
+			return bench.Fig11(bench.DefaultFig11(*quick), os.Stdout)
 		case "fig12":
-			_, err := bench.Fig12(bench.DefaultFig12(*quick), os.Stdout)
-			return err
+			return bench.Fig12(bench.DefaultFig12(*quick), os.Stdout)
 		case "table1":
-			_, err := bench.Table1(bench.DefaultTable1(*quick), os.Stdout)
-			return err
+			return bench.Table1(bench.DefaultTable1(*quick), os.Stdout)
 		case "fig13":
 			cfg := bench.DefaultTable1(*quick)
 			seq := 400
@@ -89,43 +101,49 @@ func run1() int {
 			}
 			res, err := bench.Fig13(cfg, seq, os.Stdout)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if *out != "" {
 				if err := os.WriteFile(*out+".txt", []byte(res.Timeline), 0o644); err != nil {
-					return err
+					return nil, err
 				}
 				if err := os.WriteFile(*out+".json", res.ChromeJSON, 0o644); err != nil {
-					return err
+					return nil, err
 				}
 				fmt.Printf("wrote %s.txt and %s.json\n", *out, *out)
 			}
-			return nil
+			return nil, nil
 		case "fig14":
-			_, err := bench.Fig14(bench.DefaultFig14(*quick), os.Stdout)
-			return err
+			return bench.Fig14(bench.DefaultFig14(*quick), os.Stdout)
 		case "fig15":
-			_, err := bench.Fig15(bench.DefaultFig15(*quick), os.Stdout)
-			return err
+			return bench.Fig15(bench.DefaultFig15(*quick), os.Stdout)
 		case "dqn":
-			_, err := bench.DQN(bench.DefaultDQN(*quick), os.Stdout)
-			return err
+			return bench.DQN(bench.DefaultDQN(*quick), os.Stdout)
 		case "serving":
-			_, err := bench.Serving(bench.DefaultServing(*quick, *concurrency), os.Stdout)
-			return err
+			return bench.Serving(bench.DefaultServing(*quick, *concurrency), os.Stdout)
 		case "ablations":
+			res := map[string]float64{}
 			for _, n := range []int{16, 256} {
-				if _, err := bench.AblationDeadness(n, 50, os.Stdout); err != nil {
-					return err
+				us, err := bench.AblationDeadness(n, 50, os.Stdout)
+				if err != nil {
+					return nil, err
 				}
+				res[fmt.Sprintf("deadness_%d_us_per_step", n)] = us
 			}
-			if _, err := bench.AblationTagOverhead(256, 50, os.Stdout); err != nil {
-				return err
+			ns, err := bench.AblationTagOverhead(256, 50, os.Stdout)
+			if err != nil {
+				return nil, err
 			}
-			_, _, err := bench.AblationStackSwap(40, 64, os.Stdout)
-			return err
+			res["tag_overhead_ns_per_op"] = ns
+			off, on, err := bench.AblationStackSwap(40, 64, os.Stdout)
+			if err != nil {
+				return nil, err
+			}
+			res["stack_swap_off_sec"] = off
+			res["stack_swap_on_sec"] = on
+			return res, nil
 		default:
-			return fmt.Errorf("unknown experiment %q", id)
+			return nil, fmt.Errorf("unknown experiment %q", id)
 		}
 	}
 
@@ -133,13 +151,35 @@ func run1() int {
 	if *exp == "all" {
 		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving"}
 	}
+	report := bench.NewReport(*quick, runtime.GOMAXPROCS(0))
 	for _, id := range ids {
 		fmt.Printf("==== %s ====\n", id)
-		if err := run(id); err != nil {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		rows, err := run(id)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			return 1
 		}
+		res := &bench.ExperimentResult{
+			ElapsedNs:    elapsed.Nanoseconds(),
+			AllocObjects: m1.Mallocs - m0.Mallocs,
+			AllocBytes:   m1.TotalAlloc - m0.TotalAlloc,
+			Rows:         rows,
+		}
+		bench.Summarize(rows, res)
+		report.Experiments[id] = res
 		fmt.Println()
+	}
+	if *jsonOut != "" {
+		if err := report.WriteJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	return 0
 }

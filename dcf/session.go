@@ -7,9 +7,14 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/trace"
 )
+
+// WorkersSpawn, as SessionOptions.Workers, selects the legacy
+// goroutine-per-kernel dispatch instead of the worker pool.
+const WorkersSpawn = exec.WorkersSpawn
 
 // Feeds supplies placeholder values by name for one Run.
 type Feeds = map[string]*Value
@@ -37,6 +42,11 @@ type SessionOptions struct {
 	Devices []DeviceConfig
 	// ParallelIterations overrides the default loop window (0 = 32).
 	ParallelIterations int
+	// Workers sizes each step's kernel worker pool: 0 picks
+	// min(GOMAXPROCS, plan kernel nodes), N > 0 fixes N workers, and
+	// WorkersSpawn restores the legacy goroutine-per-kernel dispatch
+	// (the pool's A/B baseline).
+	Workers int
 	// Trace enables per-stream kernel timeline recording on the
 	// simulated devices.
 	Trace bool
@@ -72,6 +82,7 @@ func NewSession(g *Graph) *Session { return NewSessionOpts(g, SessionOptions{}) 
 func NewSessionOpts(g *Graph, opts SessionOptions) *Session {
 	s := core.NewSession(g.b)
 	s.ParallelIterations = opts.ParallelIterations
+	s.Workers = opts.Workers
 	sess := &Session{g: g, s: s, runOverhead: opts.RunOverhead}
 	if len(opts.Devices) > 0 {
 		if opts.Trace {

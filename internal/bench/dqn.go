@@ -182,7 +182,10 @@ func runInGraphDQN(cfg DQNConfig) (float64, error) {
 		return 0, err
 	}
 
-	sess := dcf.NewSessionOpts(g, dcf.SessionOptions{RunOverhead: cfg.RunOverhead})
+	sess, err := newSessionOpts(g, dcf.SessionOptions{RunOverhead: cfg.RunOverhead})
+	if err != nil {
+		return 0, err
+	}
 	if err := sess.InitVariables(); err != nil {
 		return 0, err
 	}
@@ -238,7 +241,10 @@ func runOutOfGraphDQN(cfg DQNConfig) (float64, error) {
 		return 0, err
 	}
 
-	sess := dcf.NewSessionOpts(g, dcf.SessionOptions{RunOverhead: cfg.RunOverhead})
+	sess, err := newSessionOpts(g, dcf.SessionOptions{RunOverhead: cfg.RunOverhead})
+	if err != nil {
+		return 0, err
+	}
 	if err := sess.InitVariables(); err != nil {
 		return 0, err
 	}

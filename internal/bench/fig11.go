@@ -117,9 +117,13 @@ func runFig11Case(machines, iterations, dim int, latency time.Duration, barrier 
 	for i, o := range outs {
 		fetches[i] = o.Output()
 	}
+	if err := maybeFuse(g); err != nil {
+		return 0, err
+	}
 	c, err := distrib.NewCluster(g.Builder(), fetches, nil, distrib.Options{
 		DefaultDevice: "m0",
 		Latency:       latency,
+		Workers:       Workers,
 	})
 	if err != nil {
 		return 0, err

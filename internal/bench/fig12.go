@@ -111,10 +111,13 @@ func Fig12(cfg Fig12Config, w io.Writer) ([]Fig12Row, error) {
 				},
 			})
 		}
-		sess := dcf.NewSessionOpts(g, dcf.SessionOptions{
+		sess, err := newSessionOpts(g, dcf.SessionOptions{
 			Devices:            devs,
 			ParallelIterations: p,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 p=%d: %w", p, err)
+		}
 		if _, err := sess.Run(nil, fetches); err != nil { // warm-up
 			sess.Close()
 			return nil, fmt.Errorf("fig12 p=%d: %w", p, err)

@@ -72,7 +72,10 @@ func fig14Measure(cfg Fig14Config, batch int, dynamic bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	sess := dcf.NewSession(g)
+	sess, err := newSession(g)
+	if err != nil {
+		return 0, err
+	}
 	if err := sess.InitVariables(); err != nil {
 		return 0, err
 	}

@@ -94,7 +94,10 @@ func fig15Measure(cfg Fig15Config, gpus, timesteps int) (float64, error) {
 			},
 		})
 	}
-	sess := dcf.NewSessionOpts(g, dcf.SessionOptions{Devices: devCfgs})
+	sess, err := newSessionOpts(g, dcf.SessionOptions{Devices: devCfgs})
+	if err != nil {
+		return 0, err
+	}
 	defer sess.Close()
 	if err := sess.InitVariables(); err != nil {
 		return 0, err

@@ -1,0 +1,91 @@
+// Machine-readable results: dcfbench -json marshals every selected
+// experiment's rows plus generic cost counters into one report, so the
+// BENCH_*.json files at the repo root can track the performance trajectory
+// across PRs without scraping stdout tables.
+
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// ExperimentResult is one experiment's entry in a Report.
+type ExperimentResult struct {
+	// ElapsedNs is the wall-clock cost of the whole experiment
+	// (including warm-ups); AllocObjects the heap objects it allocated.
+	ElapsedNs    int64  `json:"elapsed_ns"`
+	AllocObjects uint64 `json:"alloc_objects"`
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	// StepsPerSec and NsPerOp are best-effort headline numbers derived
+	// from the experiment's own rows (0 when the experiment has no
+	// natural single figure).
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	// Rows carries the experiment's full typed result series.
+	Rows any `json:"rows,omitempty"`
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	GeneratedAt string                       `json:"generated_at"`
+	Quick       bool                         `json:"quick"`
+	Workers     int                          `json:"workers"`
+	Fuse        bool                         `json:"fuse"`
+	GoMaxProcs  int                          `json:"gomaxprocs"`
+	Experiments map[string]*ExperimentResult `json:"experiments"`
+}
+
+// NewReport returns an empty report stamped with the suite configuration.
+func NewReport(quick bool, gomaxprocs int) *Report {
+	return &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		Workers:     Workers,
+		Fuse:        Fuse,
+		GoMaxProcs:  gomaxprocs,
+		Experiments: map[string]*ExperimentResult{},
+	}
+}
+
+// Summarize derives the headline numbers from an experiment's typed rows.
+func Summarize(rows any, res *ExperimentResult) {
+	switch rs := rows.(type) {
+	case []Fig11Row:
+		for _, r := range rs {
+			if r.NoBarrierIPS > res.StepsPerSec {
+				res.StepsPerSec = r.NoBarrierIPS
+			}
+		}
+	case []ServingRow:
+		for _, r := range rs {
+			if r.StepsPerSec > res.StepsPerSec {
+				res.StepsPerSec = r.StepsPerSec
+			}
+		}
+	case []Table1Row:
+		// ns/op = fastest non-OOM cell's per-iteration time.
+		for _, r := range rs {
+			var ns float64
+			if !r.DisabledOOM && r.DisabledMs > 0 {
+				ns = r.DisabledMs * 1e6
+			}
+			if !r.EnabledOOM && r.EnabledMs > 0 && (ns == 0 || r.EnabledMs*1e6 < ns) {
+				ns = r.EnabledMs * 1e6
+			}
+			if ns > 0 && (res.NsPerOp == 0 || ns < res.NsPerOp) {
+				res.NsPerOp = ns
+			}
+		}
+	}
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

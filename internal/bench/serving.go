@@ -62,7 +62,10 @@ func Serving(cfg ServingConfig, w io.Writer) ([]ServingRow, error) {
 	if err := g.Err(); err != nil {
 		return nil, err
 	}
-	sess := dcf.NewSession(g)
+	sess, err := newSession(g)
+	if err != nil {
+		return nil, err
+	}
 	callable, err := sess.MakeCallable(dcf.CallableSpec{Feeds: []string{"x"}, Fetches: []dcf.Tensor{y}})
 	if err != nil {
 		return nil, err

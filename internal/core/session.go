@@ -37,6 +37,10 @@ type Session struct {
 	// ParallelIterations is the default loop window (0 = executor
 	// default of 32).
 	ParallelIterations int
+	// Workers sizes each step's kernel worker pool (0 = min(GOMAXPROCS,
+	// plan kernel nodes); exec.WorkersSpawn = legacy goroutine-per-kernel
+	// dispatch).
+	Workers int
 
 	// baseSeed and runSeq derive a private RNG stream per run, so
 	// concurrent runs never contend on (or race over) one generator.
@@ -149,6 +153,7 @@ func (s *Session) runPlan(ctx context.Context, plan *exec.Plan, feeds map[string
 		Mem:                s.Mem,
 		Runner:             s.Runner,
 		ParallelIterations: s.ParallelIterations,
+		Workers:            s.Workers,
 	})
 	if err != nil {
 		return nil, md, err

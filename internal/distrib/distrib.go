@@ -42,6 +42,12 @@ type Options struct {
 	WorkerOf partition.WorkerOf
 	// ParallelIterations overrides the loop window.
 	ParallelIterations int
+	// Workers sizes the per-step kernel worker pool shared by every
+	// partition (0 = GOMAXPROCS; exec.WorkersSpawn = legacy
+	// goroutine-per-kernel dispatch). One pool serves the whole step, so
+	// an 8-partition cluster draws from a single worker budget instead of
+	// oversubscribing the machine with 8 independent pools.
+	Workers int
 	// Mem and Runner configure per-device memory/runners (may be nil).
 	Mem    func(device string) ops.DeviceMem
 	Runner func(device string) exec.Runner
@@ -159,6 +165,16 @@ func (c *Cluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor) (
 	base := rendezvous.NewLocal(c.opts.Latency, c.opts.Bandwidth)
 	rv := rendezvous.Scoped(base, fmt.Sprintf("step%d", stepID))
 
+	// One worker pool serves every partition of the step: partitions'
+	// kernels draw from a shared budget instead of each executor sizing a
+	// private pool to the whole machine. Workers spawn lazily (an
+	// all-inline step never starts one) and drain with the step.
+	var pool *exec.Pool
+	if c.opts.Workers != exec.WorkersSpawn {
+		pool = exec.NewPool(c.opts.Workers)
+		defer pool.Close()
+	}
+
 	type devResult struct {
 		dev  string
 		vals []ops.Value
@@ -181,6 +197,8 @@ func (c *Cluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor) (
 				RNG:                tensor.NewRNG(uint64(stepID)*1e6 + 17),
 				Rendezvous:         rv,
 				ParallelIterations: c.opts.ParallelIterations,
+				Workers:            c.opts.Workers,
+				Pool:               pool,
 				Mem:                c.opts.Mem,
 				Runner:             c.opts.Runner,
 			})

@@ -97,6 +97,88 @@ func BenchmarkLoopTokenOverheadWindow1(b *testing.B) {
 	}
 }
 
+// buildParallelBody builds a while-loop whose body holds `width`
+// independent above-inline elementwise kernels per iteration (the wide-body
+// shape whose intra-step parallelism the worker pool exists for): a counter
+// branch drives `iters` iterations, and each of the `width` vector states
+// is advanced by one real Add kernel per iteration.
+func buildParallelBody(b *testing.B, g *graph.Graph, iters, width, elems int) []graph.Output {
+	vec := func(v float64) graph.Output {
+		t := tensor.Alloc(tensor.Float, elems)
+		for i := range t.F {
+			t.F[i] = v
+		}
+		return benchNode(b, g, "Const", map[string]any{"value": t}).Out(0)
+	}
+	scalar := func(v float64) graph.Output {
+		return benchNode(b, g, "Const", map[string]any{"value": tensor.Scalar(v)}).Out(0)
+	}
+	frame := map[string]any{"frame_name": "wide", "parallel_iterations": 1}
+	frameConst := map[string]any{"frame_name": "wide", "parallel_iterations": 1, "is_constant": true}
+	enterI := benchNode(b, g, "Enter", frame, scalar(0))
+	limE := benchNode(b, g, "Enter", frameConst, scalar(float64(iters)))
+	oneE := benchNode(b, g, "Enter", frameConst, scalar(1))
+	merge := benchNode(b, g, "Merge", nil, enterI.Out(0), enterI.Out(0))
+	less := benchNode(b, g, "Less", nil, merge.Out(0), limE.Out(0))
+	cond := benchNode(b, g, "LoopCond", nil, less.Out(0))
+	sw := benchNode(b, g, "Switch", nil, merge.Out(0), cond.Out(0))
+	add := benchNode(b, g, "Add", nil, sw.Out(1), oneE.Out(0))
+	ni := benchNode(b, g, "NextIteration", nil, add.Out(0))
+	merge.ReplaceInput(1, ni.Out(0))
+	fetches := []graph.Output{benchNode(b, g, "Exit", nil, sw.Out(0)).Out(0)}
+
+	vecOneE := benchNode(b, g, "Enter", frameConst, vec(1))
+	for w := 0; w < width; w++ {
+		enterV := benchNode(b, g, "Enter", frame, vec(0))
+		mergeV := benchNode(b, g, "Merge", nil, enterV.Out(0), enterV.Out(0))
+		swV := benchNode(b, g, "Switch", nil, mergeV.Out(0), cond.Out(0))
+		addV := benchNode(b, g, "Add", nil, swV.Out(1), vecOneE.Out(0))
+		niV := benchNode(b, g, "NextIteration", nil, addV.Out(0))
+		mergeV.ReplaceInput(1, niV.Out(0))
+		fetches = append(fetches, benchNode(b, g, "Exit", nil, swV.Out(0)).Out(0))
+	}
+	return fetches
+}
+
+// benchParallelBody runs b.N steps of the wide-body loop with the given
+// worker setting; ns/op is per step (iters x width real kernels each).
+func benchParallelBody(b *testing.B, workers int) {
+	const iters, width, elems = 8, 16, 600
+	g := graph.New()
+	fetches := buildParallelBody(b, g, iters, width, elems)
+	plan, err := NewPlan(g, nil, fetches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := NewFromPlan(plan, Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := ex.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := out[1].T.F[0]; got != float64(iters) {
+			b.Fatalf("state %v, want %v", got, iters)
+		}
+	}
+	b.StopTimer()
+	steps := float64(b.N) * float64(iters)
+	b.ReportMetric(steps/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkParallelBody compares the worker pool against the legacy
+// goroutine-per-execution spawn on a wide loop body. With GOMAXPROCS >= 4
+// the pool's lower dispatch cost (persistent workers, batched completions)
+// is the difference between a dispatcher-bound and a compute-bound step.
+func BenchmarkParallelBody(b *testing.B) {
+	b.Run("pool", func(b *testing.B) { benchParallelBody(b, 0) })
+	b.Run("spawn", func(b *testing.B) { benchParallelBody(b, WorkersSpawn) })
+}
+
 // BenchmarkPlanReuse measures the fixed cost of one executor construction +
 // trivial run over a cached plan (the repeated-step fast path sessions take).
 func BenchmarkPlanReuse(b *testing.B) {

@@ -3,7 +3,9 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/ops"
@@ -58,7 +60,21 @@ type Config struct {
 	// ParallelIterations overrides the per-frame window for frames whose
 	// Enter ops do not carry their own (0 means DefaultParallelIterations).
 	ParallelIterations int
+	// Workers sizes the kernel worker pool: 0 picks min(GOMAXPROCS,
+	// kernel nodes in the plan), N > 0 fixes the pool at N workers, and
+	// WorkersSpawn (-1) restores the legacy goroutine-per-execution
+	// dispatch (the A/B baseline for the pool). Ignored when Pool is set.
+	Workers int
+	// Pool, if set, is a shared worker pool (see NewPool); the executor
+	// submits kernel work to it instead of owning workers. The distributed
+	// runtime shares one pool across a step's partitions so they draw from
+	// a single worker budget. The caller owns the pool's lifecycle.
+	Pool *Pool
 }
+
+// WorkersSpawn selects the legacy goroutine-per-execution kernel dispatch
+// instead of the worker pool (the baseline the pool is benchmarked against).
+const WorkersSpawn = -1
 
 // opKind discriminates the ops whose semantics the executor implements
 // itself; every other op is kOther and runs through its registered kernel.
@@ -139,6 +155,11 @@ type nodeInfo struct {
 type frameMeta struct {
 	name       string
 	enterCount int
+	// parallel is the largest parallel_iterations attribute any of the
+	// frame's Enter ops declares (0 when none do, meaning the config
+	// default applies). Event-buffer sizing reads it so a window-1 loop
+	// is not provisioned as if it ran the default 32-wide window.
+	parallel int
 }
 
 // Plan holds the static, reusable part of an execution. Every partition
@@ -156,6 +177,9 @@ type Plan struct {
 	frames   []frameMeta
 	sources  []int32
 	arenaLen int32 // total data-input slots across all nodes
+	// kernelNodes counts the plan's real-kernel nodes (not control
+	// primitives or pass-throughs): the upper bound on useful pool width.
+	kernelNodes int
 }
 
 // NewPlan validates and precomputes the static execution structures for a
@@ -213,8 +237,14 @@ func NewPlan(g *graph.Graph, nodes []*graph.Node, fetches []graph.Output) (*Plan
 			info.frameID = id
 			info.isConstEnter = n.AttrBool("is_constant")
 			info.parallel = n.AttrInt("parallel_iterations")
+			if info.parallel > p.frames[id].parallel {
+				p.frames[id].parallel = info.parallel
+			}
 		case kSend, kRecv:
 			info.sendKey = n.AttrString(SendKeyAttr)
+		}
+		if info.kind == kOther && !info.inline && !info.pass {
+			p.kernelNodes++
 		}
 		if info.numIn == 0 && info.numCtl == 0 {
 			p.sources = append(p.sources, int32(i))
@@ -271,12 +301,29 @@ type Executor struct {
 
 	root *frameState
 
-	events chan doneMsg
+	// events carries batched completions: workers (and the legacy spawned
+	// goroutines) deliver slices of doneMsg; the dispatcher drains each
+	// batch through doneQ before blocking on the channel again.
+	events chan []doneMsg
 	quit   chan struct{}
 	// done is the step's cancellation signal (nil when cfg.Ctx is nil);
 	// the dispatcher nils it after it fires so a closed channel is
 	// observed exactly once.
 	done <-chan struct{}
+
+	// doneQ is the dispatcher-side buffer of received, unprocessed
+	// completions (doneQ[doneHead:] are pending).
+	doneQ    []doneMsg
+	doneHead int
+
+	// pool runs real kernels; nil until the first pooled execution (or
+	// forever, for all-inline steps and legacy spawn mode). ownPool marks
+	// a pool created by this executor, closed when Run returns.
+	pool    *Pool
+	ownPool bool
+	// aborted mirrors firstErr != nil for pool workers (which must not
+	// touch dispatcher-owned state): once set, queued kernels are skipped.
+	aborted atomic.Bool
 
 	outstanding int
 	firstErr    error
@@ -431,13 +478,24 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 	if par <= 0 {
 		par = DefaultParallelIterations
 	}
-	evBuf := len(plan.nodes) * par
-	if len(plan.frames) == 0 {
-		// A frame-less (acyclic) plan executes each node exactly once,
-		// so one slot per node already guarantees kernel goroutines
-		// never block on a full channel; inference-shaped serving steps
-		// allocate window-times less per call.
-		evBuf = len(plan.nodes)
+	// Size the completion buffer from the plan's actual live-frame bound:
+	// each frame's window is what its Enter ops declare (falling back to
+	// the config default only for frames that declare nothing), so a
+	// window-1 loop is provisioned at one slot per node, not the default
+	// 32. Acyclic plans execute each node exactly once.
+	window := 0
+	for i := range plan.frames {
+		w := plan.frames[i].parallel
+		if w <= 0 {
+			w = par
+		}
+		if w > window {
+			window = w
+		}
+	}
+	evBuf := len(plan.nodes)
+	if window > 0 {
+		evBuf = len(plan.nodes) * window
 	}
 	if evBuf > maxEventsBuffer {
 		evBuf = maxEventsBuffer
@@ -448,7 +506,7 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 	ex := &Executor{
 		cfg:    cfg,
 		plan:   plan,
-		events: make(chan doneMsg, evBuf),
+		events: make(chan []doneMsg, evBuf),
 		quit:   make(chan struct{}),
 	}
 	if cfg.Ctx != nil {
@@ -532,6 +590,14 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 	if ex.cfg.Ctx != nil && ex.cfg.Ctx.Err() != nil {
 		return nil, fmt.Errorf("exec: step canceled: %w", context.Cause(ex.cfg.Ctx))
 	}
+	defer func() {
+		// A pool this executor created drains with the step (outstanding
+		// hit zero, so every submitted item was executed and consumed);
+		// shared pools belong to the caller.
+		if ex.ownPool && ex.pool != nil {
+			ex.pool.Close()
+		}
+	}()
 	it := ex.iteration(ex.root, 0)
 	for _, idx := range ex.plan.sources {
 		ex.schedule(idx, ex.root, it)
@@ -540,9 +606,10 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 		ex.pollCancel()
 		// Inline-eligible executions (control-flow primitives: pure
 		// token bookkeeping) run on the dispatcher itself, skipping a
-		// goroutine round trip per token. Real kernels stay on their
-		// own goroutines (possibly device streams) so compute keeps
-		// its parallelism.
+		// goroutine round trip per token. Real kernels run on the worker
+		// pool (or, for ops that may block — Send, Recv, custom device
+		// runners — their own goroutines) so compute keeps its
+		// parallelism; their completions arrive in batches.
 		var msg doneMsg
 		if k := len(ex.inlineQ); k > 0 {
 			item := ex.inlineQ[k-1]
@@ -555,9 +622,23 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 				outs, err := ex.runNode(item.idx, item.inputs, item.tag, item.deadCtl)
 				msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter, outs: outs, err: err}
 			}
+		} else if ex.doneHead < len(ex.doneQ) {
+			msg = ex.doneQ[ex.doneHead]
+			ex.doneQ[ex.doneHead] = doneMsg{}
+			ex.doneHead++
+			if ex.doneHead == len(ex.doneQ) {
+				ex.doneQ = ex.doneQ[:0]
+				ex.doneHead = 0
+			}
 		} else {
 			select {
-			case msg = <-ex.events:
+			case batch := <-ex.events:
+				ex.doneQ = append(ex.doneQ, batch...)
+				for i := range batch {
+					batch[i] = doneMsg{}
+				}
+				batchPool.Put(batch[:0])
+				continue
 			case <-ex.done:
 				// done is nil unless a cancelable context was given, and
 				// is nilled once it fires, so this arm triggers at most
@@ -566,9 +647,10 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 				continue
 			}
 		}
-		if msg.err != nil && ex.firstErr == nil {
-			ex.firstErr = msg.err
-			close(ex.quit)
+		if msg.err != nil {
+			// fail also flips the aborted flag so pool workers skip the
+			// kernels of the already-failed step.
+			ex.fail(msg.err)
 		}
 		if msg.err == nil && ex.firstErr == nil {
 			ex.propagate(msg.idx, msg.fs, msg.iter, msg.outs)
@@ -862,10 +944,42 @@ func (ex *Executor) schedule(idx int32, fs *frameState, it *iterState) {
 		ex.inlineQ = append(ex.inlineQ, inlineItem{idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl})
 		return
 	}
-	go func() {
-		outs, err := ex.runNode(idx, inputs, tag, deadCtl)
-		ex.events <- doneMsg{idx: idx, fs: fs, iter: iter, outs: outs, err: err}
-	}()
+	// Ops that may block — Send and Recv (network), kernels on custom
+	// device runners or device memory (simulated streams, swaps) — never
+	// enter the pool: a blocked worker would starve every queued kernel
+	// behind it. They keep their own goroutines, as does everything in
+	// legacy spawn mode (Workers == WorkersSpawn, the pool's A/B baseline).
+	mayBlock := info.kind != kOther ||
+		(ex.runners != nil && ex.runners[idx] != nil) ||
+		(ex.mems != nil && ex.mems[idx] != nil)
+	if mayBlock || (ex.cfg.Pool == nil && ex.cfg.Workers == WorkersSpawn) {
+		go func() {
+			outs, err := ex.runNode(idx, inputs, tag, deadCtl)
+			batch := batchPool.Get().([]doneMsg)[:0]
+			batch = append(batch, doneMsg{idx: idx, fs: fs, iter: iter, outs: outs, err: err})
+			ex.events <- batch
+		}()
+		return
+	}
+	if ex.pool == nil {
+		if ex.cfg.Pool != nil {
+			ex.pool = ex.cfg.Pool
+		} else {
+			// Plan-sized private pool, created lazily so all-inline
+			// steps never pay for it: no wider than the machine and no
+			// wider than the plan's kernel nodes.
+			n := ex.cfg.Workers
+			if n <= 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			if k := ex.plan.kernelNodes; k > 0 && k < n {
+				n = k
+			}
+			ex.pool = NewPool(n)
+			ex.ownPool = true
+		}
+	}
+	ex.pool.submit(poolItem{ex: ex, idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl})
 }
 
 // inlineOps never block and carry no real computation: the dispatcher
@@ -1242,6 +1356,7 @@ func (fs *frameState) addDeferred(iter int, d deferredDelivery) {
 func (ex *Executor) fail(err error) {
 	if ex.firstErr == nil {
 		ex.firstErr = err
+		ex.aborted.Store(true)
 		close(ex.quit)
 	}
 }

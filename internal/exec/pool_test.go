@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// poolVecElems is big enough that a binary kernel's inputs exceed the
+// dispatcher-inline bound, forcing the pool path.
+const poolVecElems = smallKernelMaxElems
+
+func vecConst(b *tb, n int, v float64) graph.Output {
+	t := tensor.Alloc(tensor.Float, n)
+	for i := range t.F {
+		t.F[i] = v
+	}
+	return b.constT(t)
+}
+
+// buildWideBody builds `width` independent chains of `depth` above-inline
+// Add kernels over one shared input, fetching each chain's tail: a
+// steal-heavy workload (one dispatcher floods the queues; idle workers must
+// steal to help).
+func buildWideBody(b *tb, width, depth int) []graph.Output {
+	x := vecConst(b, poolVecElems, 1)
+	one := vecConst(b, poolVecElems, 1)
+	fetches := make([]graph.Output, width)
+	for w := 0; w < width; w++ {
+		cur := x
+		for d := 0; d < depth; d++ {
+			cur = b.node("Add", nil, cur, one).Out(0)
+		}
+		fetches[w] = cur
+	}
+	return fetches
+}
+
+func TestPoolStealHeavyWideBody(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		b := newTB(t)
+		fetches := buildWideBody(b, 16, 4)
+		ex, err := New(Config{Graph: b.g, Fetches: fetches, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ex.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if got := v.T.F[0]; got != 5 {
+				t.Fatalf("workers=%d chain %d: got %v want 5", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolSharedAcrossExecutors(t *testing.T) {
+	// One pool, several executors drawing from the same worker budget
+	// (the distributed runtime's per-step sharing).
+	pool := NewPool(2)
+	defer pool.Close()
+	for i := 0; i < 3; i++ {
+		b := newTB(t)
+		fetches := buildWideBody(b, 8, 3)
+		ex, err := New(Config{Graph: b.g, Fetches: fetches, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ex.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out[0].T.F[0]; got != 4 {
+			t.Fatalf("run %d: got %v want 4", i, got)
+		}
+	}
+}
+
+// TestPoolDrainOnFailure fails one kernel among many queued ones: the step
+// must surface the error, drain every in-flight execution, and leave no
+// worker goroutines behind.
+func TestPoolDrainOnFailure(t *testing.T) {
+	before := runtime.NumGoroutine()
+	b := newTB(t)
+	fetches := buildWideBody(b, 16, 4)
+	// A shape-mismatched Add fails inside its kernel (above the inline
+	// bound, so it fails on a pool worker).
+	bad := b.node("Add", nil, vecConst(b, poolVecElems, 1), vecConst(b, poolVecElems-1, 1))
+	fetches = append(fetches, bad.Out(0))
+	ex, err := New(Config{Graph: b.g, Fetches: fetches, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err == nil || !strings.Contains(err.Error(), "Add") {
+		t.Fatalf("want Add kernel error, got %v", err)
+	}
+	awaitGoroutines(t, before)
+}
+
+// TestPoolCancelMidSteal cancels a step while pool workers are busy and
+// queues are non-empty: Run must return the cancellation error and the
+// pool's workers must exit with the step.
+func TestPoolCancelMidSteal(t *testing.T) {
+	before := runtime.NumGoroutine()
+	b := newTB(t)
+	// A long loop whose body holds enough parallel kernel work to keep
+	// queues populated while the cancel lands.
+	frame := map[string]any{"frame_name": "w", "parallel_iterations": 1}
+	frameConst := map[string]any{"frame_name": "w", "parallel_iterations": 1, "is_constant": true}
+	enterI := b.node("Enter", frame, b.scalar(0))
+	limE := b.node("Enter", frameConst, b.scalar(1e9))
+	oneE := b.node("Enter", frameConst, b.scalar(1))
+	vecE := b.node("Enter", frameConst, vecConst(b, poolVecElems, 1))
+	merge := b.node("Merge", nil, enterI.Out(0), enterI.Out(0))
+	less := b.node("Less", nil, merge.Out(0), limE.Out(0))
+	cond := b.node("LoopCond", nil, less.Out(0))
+	sw := b.node("Switch", nil, merge.Out(0), cond.Out(0))
+	add := b.node("Add", nil, sw.Out(1), oneE.Out(0))
+	// Per-iteration real kernel work rides on the counter via control
+	// dependencies so every iteration pushes pool items.
+	var body []*graph.Node
+	for i := 0; i < 4; i++ {
+		body = append(body, b.node("Add", nil, vecE.Out(0), vecE.Out(0)))
+	}
+	ni := b.node("NextIteration", nil, add.Out(0))
+	for _, n := range body {
+		ni.AddControlInput(n)
+	}
+	merge.ReplaceInput(1, ni.Out(0))
+	exit := b.node("Exit", nil, sw.Out(0))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ex, err := New(Config{Graph: b.g, Fetches: []graph.Output{exit.Out(0)}, Ctx: ctx, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ex.Run()
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	awaitGoroutines(t, before)
+}
+
+// awaitGoroutines waits for the goroutine count to return to (near) the
+// baseline; pool workers and spawned kernels must all have exited.
+func awaitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestLegacySpawnMode keeps the goroutine-per-kernel baseline working (it
+// is the A/B reference for the pool benchmarks).
+func TestLegacySpawnMode(t *testing.T) {
+	b := newTB(t)
+	fetches := buildWideBody(b, 8, 3)
+	ex, err := New(Config{Graph: b.g, Fetches: fetches, Workers: WorkersSpawn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].T.F[0]; got != 4 {
+		t.Fatalf("got %v want 4", got)
+	}
+	if ex.pool != nil {
+		t.Fatal("legacy spawn mode must not create a pool")
+	}
+}
+
+// TestAllInlineStepSpawnsNoPool: steps whose kernels all run on the
+// dispatcher never pay for pool construction.
+func TestAllInlineStepSpawnsNoPool(t *testing.T) {
+	b := newTB(t)
+	exit := buildCounterLoop(b, 50, 1, 0)
+	ex, err := New(Config{Graph: b.g, Fetches: []graph.Output{exit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ex.pool != nil {
+		t.Fatal("all-inline step created a pool")
+	}
+}
+
+// TestEventsBufferUsesFrameWindow is the regression test for the
+// events-channel sizing fallback: a cyclic plan whose only frame declares
+// parallel_iterations=1 must be provisioned at one slot per node, not
+// nodes x the 32-wide default window.
+func TestEventsBufferUsesFrameWindow(t *testing.T) {
+	b := newTB(t)
+	exit := buildCounterLoop(b, 10, 1, 1) // window 1
+	ex, err := New(Config{Graph: b.g, Fetches: []graph.Output{exit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cap(ex.events), b.g.NumNodes(); got != want {
+		t.Fatalf("window-1 events buffer %d, want %d (one per node)", got, want)
+	}
+	// An undeclared window still provisions the config default.
+	b2 := newTB(t)
+	exit2 := buildCounterLoop(b2, 10, 1, 0)
+	ex2, err := New(Config{Graph: b2.g, Fetches: []graph.Output{exit2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cap(ex2.events), b2.g.NumNodes()*DefaultParallelIterations; got != want {
+		t.Fatalf("default-window events buffer %d, want %d", got, want)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// fetchProducer returns the op of the node now feeding out's consumer-side
+// check helpers.
+func producerOf(out graph.Output, input int) string {
+	return out.Node.Input(input).Node.Op()
+}
+
+func TestFuseLinearChain(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	w := b.Const(tensor.Scalar(3))
+	bias := b.Const(tensor.Scalar(1))
+	// Mul -> Add -> Relu is a pure single-consumer chain; the Sum keeps a
+	// non-fusable consumer downstream so the fused value is observable.
+	y := b.Op("Relu", nil, b.Add(b.Mul(x, w), bias))
+	out := b.Op("Sum", map[string]any{"axes": []int(nil), "keep_dims": false}, y)
+	st, err := FuseElementwise(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fused != 3 {
+		t.Fatalf("fused %d nodes, want 3 (Mul, Add, Relu)", st.Fused)
+	}
+	if got := producerOf(out, 0); got != "FusedElementwise" {
+		t.Fatalf("Sum input now %s, want FusedElementwise", got)
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(2)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ScalarValue() != 7 { // relu(2*3+1)
+		t.Fatalf("got %v, want 7", v)
+	}
+}
+
+func TestFuseStopsAtFanOut(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	a := b.Add(x, b.Scalar(1))
+	// a has two consumers: it must not be absorbed as an intermediate.
+	y1 := b.Op("Tanh", nil, a)
+	y2 := b.Op("Sigmoid", nil, a)
+	out := b.Add(y1, y2)
+	st, err := FuseElementwise(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No chain of length >= 2 exists: a fans out, y1/y2 each feed the
+	// final Add which reads two distinct non-chain operands... the final
+	// Add can head no chain (no single-consumer successor). Tanh->Add and
+	// Sigmoid->Add cannot both fuse the shared Add; at most one chain of
+	// (Tanh or Sigmoid)+Add forms.
+	if st.Fused > 2 {
+		t.Fatalf("fused %d nodes, want <= 2", st.Fused)
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(0)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.7615941559557649 + 0.7310585786300049 // tanh(1)+sigmoid(1)
+	if d := v.ScalarValue() - want; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("got %v, want %v", v.ScalarValue(), want)
+	}
+}
+
+func TestFuseSkipsControlFlowAndContexts(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	outs := b.While(
+		[]graph.Output{x},
+		func(v []graph.Output) graph.Output { return b.Less(v[0], b.Scalar(10)) },
+		func(v []graph.Output) []graph.Output {
+			// An in-body chain: fusable within the loop context.
+			return []graph.Output{b.Add(b.Mul(v[0], b.Scalar(2)), b.Scalar(1))}
+		},
+		core.WhileOpts{},
+	)
+	st, err := FuseElementwise(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fused < 2 {
+		t.Fatalf("in-loop chain did not fuse (fused=%d)", st.Fused)
+	}
+	for _, n := range b.G.Nodes() {
+		if n.Op() == "FusedElementwise" {
+			for _, in := range n.InputsRef() {
+				switch in.Node.Op() {
+				case "Merge", "Switch", "Enter", "Exit", "NextIteration", "LoopCond":
+					// Loop primitives may feed a fused node but must
+					// never be inside one.
+				}
+			}
+			if n.Ctx == nil {
+				t.Fatal("in-loop fused node lost its control-flow context")
+			}
+		}
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(0)}, outs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 1 -> 3 -> 7 -> 15 (exits at >= 10)
+	if v.ScalarValue() != 15 {
+		t.Fatalf("loop result %v, want 15", v)
+	}
+}
+
+func TestFuseRespectsControlConsumers(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	mid := b.Add(b.Mul(x, b.Scalar(2)), b.Scalar(1))
+	tail := b.Op("Tanh", nil, mid)
+	// A control edge pins `tail`: fusing through it would duplicate the
+	// whole chain, so the chain must stop before it.
+	dep := b.OpNode("NoOp", "dep", nil)
+	dep.AddControlInput(tail.Node)
+	out := b.Op("Sum", map[string]any{"axes": []int(nil), "keep_dims": false}, tail)
+	if _, err := FuseElementwise(b.G); err != nil {
+		t.Fatal(err)
+	}
+	if got := producerOf(out, 0); got != "Tanh" {
+		t.Fatalf("control-pinned tail was absorbed (Sum reads %s)", got)
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(1)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9950547536867305 // tanh(3)
+	if d := v.ScalarValue() - want; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("got %v, want %v", v.ScalarValue(), want)
+	}
+}
+
+func TestFuseBroadcastMidChain(t *testing.T) {
+	// The running value changes shape mid-chain (scalar +, then a vector
+	// multiply broadcasts it up): the fused kernel must fall back to a
+	// fresh allocation and stay correct.
+	b := core.NewBuilder()
+	x := b.Placeholder("x") // scalar
+	vec := b.Const(tensor.FromFloats([]float64{1, 2, 3}, 3))
+	y := b.Op("Relu", nil, b.Mul(b.Add(x, b.Scalar(1)), vec))
+	out := b.Op("Sum", map[string]any{"axes": []int(nil), "keep_dims": false}, y)
+	if _, err := FuseElementwise(b.G); err != nil {
+		t.Fatal(err)
+	}
+	if got := producerOf(out, 0); got != "FusedElementwise" {
+		t.Fatalf("broadcast chain did not fuse (Sum reads %s)", got)
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(2)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ScalarValue() != 18 { // relu((2+1)*[1,2,3]) sums to 3+6+9
+		t.Fatalf("got %v, want 18", v)
+	}
+}
+
+func TestFuseChainSideInputOrder(t *testing.T) {
+	// The running value must thread correctly when it is the right-hand
+	// operand (Sub(side, chain)) as well as the left.
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	ten := b.Const(tensor.Scalar(10))
+	y := b.Sub(ten, b.Mul(x, b.Scalar(3))) // 10 - 3x, chain value on the right
+	out := b.Op("Sum", map[string]any{"axes": []int(nil), "keep_dims": false}, y)
+	st, err := FuseElementwise(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fused != 2 {
+		t.Fatalf("fused %d, want 2", st.Fused)
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(2)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ScalarValue() != 4 {
+		t.Fatalf("got %v, want 4", v)
+	}
+}
+
+func TestFuseSkipsConsumerlessTailAndIsIdempotent(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	// y's tail has no graph consumer (it would only ever be fetched):
+	// fusing it would add a dead node nothing is rewired to.
+	b.Op("Relu", nil, b.Add(x, b.Scalar(1)))
+	st, err := FuseElementwise(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fused != 0 {
+		t.Fatalf("consumerless chain reported %d fused nodes, want 0", st.Fused)
+	}
+	// A consumed chain fuses once; re-running the pass must be a no-op
+	// (the absorbed originals keep their internal edges but their tail no
+	// longer feeds anything).
+	out := b.Op("Sum", map[string]any{"axes": []int(nil), "keep_dims": false},
+		b.Op("Tanh", nil, b.Mul(x, b.Scalar(2))))
+	if st, err = FuseElementwise(b.G); err != nil || st.Fused != 2 {
+		t.Fatalf("first pass: fused=%d err=%v, want 2", st.Fused, err)
+	}
+	n := b.G.NumNodes()
+	if st, err = FuseElementwise(b.G); err != nil || st.Fused != 0 {
+		t.Fatalf("second pass: fused=%d err=%v, want 0 (idempotent)", st.Fused, err)
+	}
+	if b.G.NumNodes() != n {
+		t.Fatalf("second pass grew the graph: %d -> %d nodes", n, b.G.NumNodes())
+	}
+	v, err := core.NewSession(b).Run1(map[string]*tensor.Tensor{"x": tensor.Scalar(1)}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9640275800758169 // tanh(2)
+	if d := v.ScalarValue() - want; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("got %v, want %v", v.ScalarValue(), want)
+	}
+}
+
+func TestFusedStepsAttrShape(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Placeholder("x")
+	b.Op("Sum", map[string]any{"axes": []int(nil), "keep_dims": false},
+		b.Op("Tanh", nil, b.Add(x, b.Scalar(1))))
+	if _, err := FuseElementwise(b.G); err != nil {
+		t.Fatal(err)
+	}
+	var fused *graph.Node
+	for _, n := range b.G.Nodes() {
+		if n.Op() == "FusedElementwise" {
+			fused = n
+		}
+	}
+	if fused == nil {
+		t.Fatal("no fused node")
+	}
+	steps, ok := fused.Attr(ops.FusedStepsAttr).([]ops.FusedStep)
+	if !ok || len(steps) != 2 {
+		t.Fatalf("steps attr %v", fused.Attr(ops.FusedStepsAttr))
+	}
+	if steps[0].Op != "Add" || steps[0].A < 0 == false && steps[0].B < 0 {
+		t.Fatalf("step 0 %v", steps[0])
+	}
+	if steps[1].Op != "Tanh" || steps[1].A != ops.FusedRunning || steps[1].B != ops.FusedNone {
+		t.Fatalf("step 1 %v, want Tanh(running)", steps[1])
+	}
+}
