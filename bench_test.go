@@ -162,3 +162,23 @@ func BenchmarkAblationStackSwap(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchServe measures the adaptive request batcher (dcf.Server)
+// against the unbatched shared-Callable baseline at the sweep's top
+// concurrency, reporting the batched-vs-unbatched speedup.
+func BenchmarkBatchServe(b *testing.B) {
+	cfg := bench.DefaultBatchServe(true, 16, 16, 0)
+	cfg.OpenLoopSeconds = 0 // keep the benchmark's inner loop closed-form
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.BatchServe(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(res.Rows) > 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.BatchedRPS, "batched-req/s")
+			b.ReportMetric(last.Speedup, "speedup-x")
+		}
+	}
+}

@@ -11,9 +11,15 @@
 //	dcfbench -exp fig11 -workers 4 -fuse   # A/B the executor knobs
 //
 // Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn,
-// ablations, serving. The serving experiment drives a shared pre-compiled
-// Callable from -concurrency goroutines and reports aggregate steps/sec
-// per concurrency level (the paper's §3 multi-tenant server shape).
+// ablations, serving, batchserve. The serving experiment drives a shared
+// pre-compiled Callable from -concurrency goroutines and reports aggregate
+// steps/sec per concurrency level (the paper's §3 multi-tenant server
+// shape). The batchserve experiment puts the adaptive request batcher
+// (dcf.Server) on top and sweeps the latency/throughput frontier against
+// that unbatched baseline; -batch caps micro-batch rows and -delay bounds
+// each request's wait for batch-mates:
+//
+//	dcfbench -exp batchserve -batch 32 -delay 1ms -concurrency 32
 // The -cpuprofile/-memprofile flags write pprof profiles covering the
 // selected experiments, so perf work on the figures needs no code edits:
 // go tool pprof cpu.pprof.
@@ -44,9 +50,11 @@ func main() {
 // run1 is main's body; returning the exit code (instead of calling os.Exit
 // inline) lets the deferred profile writers run on failure paths too.
 func run1() int {
-	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|all)")
+	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|batchserve|all)")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0)*2, "top of the serving experiment's goroutine sweep")
+	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0)*2, "top of the serving/batchserve experiments' goroutine sweep")
+	batch := flag.Int("batch", 32, "batchserve: max rows per micro-batch")
+	delay := flag.Duration("delay", time.Millisecond, "batchserve: max time a request waits for batch-mates")
 	out := flag.String("out", "", "also write figure artifacts (fig13 timeline / chrome trace) to this path prefix")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -121,6 +129,8 @@ func run1() int {
 			return bench.DQN(bench.DefaultDQN(*quick), os.Stdout)
 		case "serving":
 			return bench.Serving(bench.DefaultServing(*quick, *concurrency), os.Stdout)
+		case "batchserve":
+			return bench.BatchServe(bench.DefaultBatchServe(*quick, *concurrency, *batch, *delay), os.Stdout)
 		case "ablations":
 			res := map[string]float64{}
 			for _, n := range []int{16, 256} {
@@ -149,7 +159,7 @@ func run1() int {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving"}
+		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving", "batchserve"}
 	}
 	report := bench.NewReport(*quick, runtime.GOMAXPROCS(0))
 	for _, id := range ids {

@@ -1,0 +1,266 @@
+// Command dcfserve is a production-shaped HTTP model server over the
+// batched serving layer: the paper's deployment story (one graph with
+// dynamic control flow driving many concurrent steps inside a multi-tenant
+// server) with TensorFlow-Serving-style adaptive request batching on top.
+//
+//	dcfserve -addr 127.0.0.1:8080 -batch 32 -delay 2ms
+//	dcfserve -checkpoint model.ckpt              # restore trained weights
+//	dcfserve -write-checkpoint model.ckpt        # init + save, then exit
+//
+// Endpoints:
+//
+//	POST /predict   {"x": [d floats]}  or  {"instances": [[d floats], ...]}
+//	                → {"scores": [...]} / {"scores": [[...], ...]}
+//	                (at most -batch instances per request; more is a 400)
+//	GET  /healthz   liveness (200 once serving)
+//	GET  /metrics   expvar JSON including the "serving" batcher snapshot
+//	                (batches, occupancy, queue delay, exec latency)
+//
+// Every predict request rides the shared dcf.Server: concurrent requests
+// coalesce into one batched executor step (feeds stacked along axis 0,
+// scores sliced back per request), so throughput scales with load instead
+// of paying full per-step runtime overhead per request. Request contexts
+// thread through to the batcher — a disconnected client is dropped from
+// its micro-batch without disturbing its neighbors.
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections, lets
+// in-flight HTTP requests finish (bounded by -drain), then drains the
+// batcher so no accepted request is ever dropped mid-batch.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/dcf"
+)
+
+// model bundles the session and batched server for one served signature.
+type model struct {
+	sess *dcf.Session
+	srv  *dcf.Server
+	dim  int
+	// maxBody bounds /predict request bodies: the largest legitimate
+	// payload is one MaxBatchSize×dim instances list (~25 JSON bytes per
+	// float), plus slack. Timeouts bound time; this bounds bytes.
+	maxBody int64
+}
+
+// buildModel constructs score = softmax(tanh(x@W1 + b1)@W2) over a typed
+// [-1, dim] placeholder, with the weights as session variables so a
+// checkpoint (-checkpoint) can replace them.
+func buildModel(dim, classes int, opts dcf.BatchOptions, workers int) (*model, error) {
+	g := dcf.NewGraph()
+	x := g.PlaceholderTyped("x", dcf.Float, -1, dim)
+	w1 := g.Variable("w1", dcf.GlorotUniform(1, dim, dim))
+	b1 := g.Variable("b1", dcf.Zeros(dim))
+	w2 := g.Variable("w2", dcf.GlorotUniform(2, dim, classes))
+	scores := x.MatMul(w1).Add(b1).Tanh().MatMul(w2).Softmax()
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
+	sess := dcf.NewSessionOpts(g, dcf.SessionOptions{Workers: workers})
+	if err := sess.InitVariables(); err != nil {
+		return nil, err
+	}
+	srv, err := dcf.NewServer(sess, dcf.CallableSpec{
+		Feeds:   []string{"x"},
+		Fetches: []dcf.Tensor{scores},
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &model{
+		sess:    sess,
+		srv:     srv,
+		dim:     dim,
+		maxBody: 1<<16 + int64(opts.MaxBatchSize)*int64(dim)*32,
+	}, nil
+}
+
+// predictRequest accepts one instance ("x") or a row-batch ("instances").
+type predictRequest struct {
+	X         []float64   `json:"x"`
+	Instances [][]float64 `json:"instances"`
+}
+
+// handlePredict decodes the request, rides the batcher under the client's
+// context, and replies with the request's own rows of the scores.
+func (m *model) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, m.maxBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	rows := req.Instances
+	single := false
+	if rows == nil {
+		if req.X == nil {
+			http.Error(w, fmt.Sprintf(`want {"x": [%d floats]} or {"instances": [[%d floats], ...]}`, m.dim, m.dim), http.StatusBadRequest)
+			return
+		}
+		rows, single = [][]float64{req.X}, true
+	}
+	if len(rows) == 0 {
+		http.Error(w, "no instances", http.StatusBadRequest)
+		return
+	}
+	flat := make([]float64, 0, len(rows)*m.dim)
+	for i, row := range rows {
+		if len(row) != m.dim {
+			http.Error(w, fmt.Sprintf("instance %d has %d values, want %d", i, len(row), m.dim), http.StatusBadRequest)
+			return
+		}
+		flat = append(flat, row...)
+	}
+	out, err := m.srv.Predict(r.Context(), dcf.FromFloats(flat, len(rows), m.dim))
+	switch {
+	case err == nil:
+	case r.Context().Err() != nil:
+		// Client went away; the batcher already dropped the request.
+		return
+	case errors.Is(err, dcf.ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, dcf.ErrServerClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, dcf.ErrInvalidRequest):
+		// Enqueue-time validation failures (shape/dtype/rows) are client
+		// bugs, rejected before the request could join a batch.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	scores := out[0]
+	w.Header().Set("Content-Type", "application/json")
+	if single {
+		json.NewEncoder(w).Encode(map[string]any{"scores": scores.F})
+		return
+	}
+	nested := make([][]float64, scores.Dim(0))
+	width := scores.Dim(1)
+	for i := range nested {
+		nested[i] = scores.F[i*width : (i+1)*width]
+	}
+	json.NewEncoder(w).Encode(map[string]any{"scores": nested})
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	dim := flag.Int("dim", 16, "model input width")
+	classes := flag.Int("classes", 4, "model output classes")
+	checkpoint := flag.String("checkpoint", "", "restore variables from this checkpoint before serving")
+	writeCkpt := flag.String("write-checkpoint", "", "initialize variables, save them here, and exit (bootstrap a servable checkpoint)")
+	batch := flag.Int("batch", 32, "max rows per micro-batch")
+	delay := flag.Duration("delay", 2*time.Millisecond, "max time a request waits for batch-mates")
+	inflight := flag.Int("inflight", 2, "max concurrently executing batches")
+	queue := flag.Int("queue", 1024, "max queued requests before backpressure (429)")
+	workers := flag.Int("workers", 0, "kernel worker pool size per step (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown bound for in-flight HTTP requests")
+	flag.Parse()
+
+	m, err := buildModel(*dim, *classes, dcf.BatchOptions{
+		MaxBatchSize:      *batch,
+		MaxQueueDelay:     *delay,
+		MaxInFlight:       *inflight,
+		MaxQueuedRequests: *queue,
+	}, *workers)
+	if err != nil {
+		log.Fatalf("build model: %v", err)
+	}
+	if *writeCkpt != "" {
+		if err := m.sess.SaveVariables(*writeCkpt); err != nil {
+			log.Fatalf("write checkpoint: %v", err)
+		}
+		log.Printf("wrote checkpoint %s", *writeCkpt)
+		return
+	}
+	if *checkpoint != "" {
+		if err := m.sess.RestoreVariables(*checkpoint); err != nil {
+			log.Fatalf("restore checkpoint %s: %v", *checkpoint, err)
+		}
+		log.Printf("restored checkpoint %s", *checkpoint)
+	}
+
+	// The batcher snapshot rides the standard expvar page, next to
+	// cmdline/memstats: occupancy, queue delay, and steps/sec per scrape.
+	expvar.Publish("serving", expvar.Func(func() any {
+		s := m.srv.Stats()
+		return map[string]any{
+			"batches":            s.Batches,
+			"rows":               s.Rows,
+			"batched_requests":   s.BatchedRequests,
+			"rejected":           s.Rejected,
+			"canceled":           s.Canceled,
+			"dropped_canceled":   s.DroppedCanceled,
+			"errors":             s.Errors,
+			"max_batch_rows":     s.MaxBatchRows,
+			"avg_batch_rows":     s.AvgBatchRows(),
+			"avg_queue_delay_ns": int64(s.AvgQueueDelay()),
+			"max_queue_delay_ns": int64(s.QueueDelayMax),
+			"exec_total_ns":      int64(s.ExecTotal),
+			"exec_max_ns":        int64(s.ExecMax),
+			"steps_per_sec":      s.StepsPerSec(),
+			"requests_per_sec":   s.RequestsPerSec(),
+			"uptime_ns":          int64(s.Uptime),
+		}
+	}))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", m.handlePredict)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.Handle("/metrics", expvar.Handler())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("dcfserve: serving on http://%s (batch=%d delay=%v inflight=%d)", *addr, *batch, *delay, *inflight)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("dcfserve: shutting down (draining in-flight requests up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dcfserve: http shutdown: %v", err)
+	}
+	// Then drain the batching layer: every accepted Predict completes.
+	m.srv.Close()
+	m.sess.Close()
+	s := m.srv.Stats()
+	log.Printf("dcfserve: drained; served %d requests in %d batches (avg occupancy %.1f rows)",
+		s.BatchedRequests, s.Batches, s.AvgBatchRows())
+}

@@ -184,6 +184,15 @@ func (g *Graph) wrapAll(os []graph.Output) []Tensor {
 // Placeholder declares a named input fed at Session.Run time.
 func (g *Graph) Placeholder(name string) Tensor { return g.wrap(g.b.Placeholder(name)) }
 
+// PlaceholderTyped declares a placeholder with a known dtype and shape
+// (-1 = any size on that axis, e.g. the batch dimension). Sessions,
+// callables, and batched servers reject mismatched feeds at the API
+// boundary with an error naming the placeholder, instead of surfacing an
+// opaque kernel error mid-step.
+func (g *Graph) PlaceholderTyped(name string, dt DType, shape ...int) Tensor {
+	return g.wrap(g.b.PlaceholderTyped(name, dt, shape...))
+}
+
 // Const embeds a constant value.
 func (g *Graph) Const(v *Value) Tensor { return g.wrap(g.b.Const(v)) }
 

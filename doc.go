@@ -16,8 +16,24 @@
 // (including cross-partition rendezvous in the distributed runtime), and
 // dcf.Session.MakeCallable pre-compiles a run signature so the hot path
 // pays no pruning, signature hashing, or feed-map allocation per step —
-// the paper's per-signature executors. See examples/serving for an HTTP
-// model server and `cmd/dcfbench -exp serving` for the concurrency sweep.
+// the paper's per-signature executors.
+//
+// On top of the Callable sits dynamic request batching (internal/serve,
+// surfaced as dcf.NewServer / Session.MakeBatchedCallable): concurrent
+// single-request Predict calls are coalesced into one batched executor
+// step — feeds stacked along axis 0, fetches sliced back per request —
+// under an adaptive policy (flush immediately when idle; grow batches
+// with load; MaxBatchSize/MaxQueueDelay bounds; shape-keyed buckets so
+// ragged sequence lengths batch with their own kind and never pay
+// padding). Requests are validated at enqueue against declared
+// placeholder specs (dcf.Graph.PlaceholderTyped) and a canceled request
+// is dropped from its micro-batch without disturbing its neighbors.
+//
+// See examples/serving for an HTTP model server over the batched path,
+// cmd/dcfserve for the production server (JSON predict API, checkpoint
+// restore, /healthz, expvar /metrics, graceful drain), `cmd/dcfbench
+// -exp serving` for the unbatched concurrency sweep, and `cmd/dcfbench
+// -exp batchserve` for the batched latency/throughput frontier.
 //
 // # Runtime performance knobs
 //

@@ -1,0 +1,363 @@
+// Batched-serving frontier: the single biggest serving-throughput lever on
+// top of PR 2's Callables is coalescing concurrent requests into one
+// batched step (TensorFlow-Serving-style adaptive batching). This driver
+// measures the latency/throughput frontier of dcf.Server against the
+// unbatched shared-Callable baseline (the BenchmarkConcurrentRun shape):
+//
+//  1. A concurrency sweep: at each level, N workers issue requests
+//     back-to-back through both paths; rows report requests/sec, batch
+//     occupancy, and per-request queue-delay and total-latency percentiles.
+//  2. An open-loop phase: requests arrive on a fixed-rate clock,
+//     independent of completions (each arrival gets its own goroutine), at
+//     half the sweep's best batched throughput — the latency a client
+//     actually sees at high-but-sustainable load, free of the coordinated
+//     omission a closed loop bakes in.
+//
+// Healthy numbers: batched RPS pulls away from unbatched as concurrency
+// grows (≥3x at concurrency 16 on one core, since per-step runtime
+// overhead amortizes over the whole batch), while p99 queue delay stays
+// bounded by the policy's MaxQueueDelay plus a small execution wait.
+
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/dcf"
+)
+
+// BatchServeConfig parameterizes the batched-serving experiment.
+type BatchServeConfig struct {
+	// MaxConcurrency tops the sweep (1,2,4,... up to it).
+	MaxConcurrency int
+	// RequestsPerWorker is each goroutine's request count per level.
+	RequestsPerWorker int
+	// Hidden is the model width and Layers its depth: Layers hidden
+	// tanh(h@Wi) layers followed by a linear head, over [rows,Hidden]
+	// feeds. Depth matters: every op in the step is per-request overhead
+	// the batcher amortizes, so a realistically deep model (the paper's
+	// seq2seq runs hundreds of ops per step) is where batching pays.
+	Hidden int
+	Layers int
+	// MaxBatchSize / MaxQueueDelay / MaxInFlight are the batcher policy
+	// under test (dcfbench's -batch and -delay knobs).
+	MaxBatchSize  int
+	MaxQueueDelay time.Duration
+	MaxInFlight   int
+	// OpenLoopSeconds bounds the open-loop phase (0 disables it).
+	OpenLoopSeconds float64
+}
+
+// DefaultBatchServe returns the standard configuration. The sweep top is
+// max(16, maxConcurrency): the batching win is a concurrency phenomenon,
+// so the sweep always reaches the load where it must show.
+func DefaultBatchServe(quick bool, maxConcurrency, batch int, delay time.Duration) BatchServeConfig {
+	cfg := BatchServeConfig{
+		MaxConcurrency:    maxConcurrency,
+		RequestsPerWorker: 400,
+		Hidden:            16,
+		Layers:            6,
+		MaxBatchSize:      batch,
+		MaxQueueDelay:     delay,
+		MaxInFlight:       2,
+		OpenLoopSeconds:   2,
+	}
+	if cfg.MaxConcurrency < 16 {
+		cfg.MaxConcurrency = 16
+	}
+	if cfg.MaxBatchSize <= 0 {
+		cfg.MaxBatchSize = 32
+	}
+	if cfg.MaxQueueDelay <= 0 {
+		cfg.MaxQueueDelay = time.Millisecond
+	}
+	if quick {
+		cfg.RequestsPerWorker = 200
+		cfg.OpenLoopSeconds = 0.5
+	}
+	return cfg
+}
+
+// BatchServeRow is one concurrency level of the closed-loop sweep.
+type BatchServeRow struct {
+	Concurrency  int
+	BatchedRPS   float64
+	UnbatchedRPS float64
+	// Speedup = BatchedRPS / UnbatchedRPS.
+	Speedup float64
+	// AvgBatchRows is mean micro-batch occupancy at this level.
+	AvgBatchRows float64
+	// QueueDelayP50Ms/P99Ms are per-request waits for batch formation and
+	// an execution slot (the latency cost batching *adds*); LatencyP50Ms/
+	// P99Ms are total batched request latencies.
+	QueueDelayP50Ms float64
+	QueueDelayP99Ms float64
+	LatencyP50Ms    float64
+	LatencyP99Ms    float64
+}
+
+// OpenLoopRow is the fixed-arrival-rate phase's result.
+type OpenLoopRow struct {
+	OfferedRPS   float64
+	AchievedRPS  float64
+	AvgBatchRows float64
+	LatencyP50Ms float64
+	LatencyP99Ms float64
+	// Dropped counts arrivals rejected by queue backpressure.
+	Dropped int64
+}
+
+// BatchServeResult bundles the sweep and the open-loop phase.
+type BatchServeResult struct {
+	Rows     []BatchServeRow `json:"rows"`
+	OpenLoop *OpenLoopRow    `json:"open_loop,omitempty"`
+}
+
+// percentile returns the p-th percentile (0..100) of ds (sorted in place).
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	ix := int(p / 100 * float64(len(ds)-1))
+	return ds[ix]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// BatchServe runs the experiment and prints a table.
+func BatchServe(cfg BatchServeConfig, w io.Writer) (*BatchServeResult, error) {
+	g := dcf.NewGraph()
+	x := g.PlaceholderTyped("x", dcf.Float, -1, cfg.Hidden)
+	layers := cfg.Layers
+	if layers <= 0 {
+		layers = 1
+	}
+	h := x
+	for l := 0; l < layers; l++ {
+		w := g.Const(dcf.RandNormal(uint64(l+1), 0, 0.3, cfg.Hidden, cfg.Hidden))
+		h = h.MatMul(w).Tanh()
+	}
+	wOut := g.Const(dcf.RandNormal(uint64(layers+1), 0, 0.3, cfg.Hidden, 4))
+	y := h.MatMul(wOut)
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
+	sess, err := newSession(g)
+	if err != nil {
+		return nil, err
+	}
+	spec := dcf.CallableSpec{Feeds: []string{"x"}, Fetches: []dcf.Tensor{y}}
+	callable, err := sess.MakeCallable(spec)
+	if err != nil {
+		return nil, err
+	}
+	input := dcf.RandNormal(3, 0, 1, 1, cfg.Hidden)
+	ctx := context.Background()
+	if _, err := callable.Call(ctx, input); err != nil { // warm plan + pool
+		return nil, err
+	}
+
+	opts := dcf.BatchOptions{
+		MaxBatchSize:      cfg.MaxBatchSize,
+		MaxQueueDelay:     cfg.MaxQueueDelay,
+		MaxInFlight:       cfg.MaxInFlight,
+		MaxQueuedRequests: 1 << 16,
+	}
+
+	fprintf(w, "Batched serving (batch<=%d, delay %v, %d req/worker) vs unbatched Callable\n",
+		cfg.MaxBatchSize, cfg.MaxQueueDelay, cfg.RequestsPerWorker)
+	fprintf(w, "%6s %12s %12s %8s %8s %10s %10s %10s\n",
+		"conc", "batched r/s", "unbatch r/s", "speedup", "occup", "qd p99 ms", "lat p50 ms", "lat p99 ms")
+
+	res := &BatchServeResult{}
+	for _, workers := range concurrencyLevels(cfg.MaxConcurrency) {
+		// Unbatched baseline: N goroutines over the shared Callable
+		// (exactly the BenchmarkConcurrentRun serving shape).
+		ub, err := closedLoop(workers, cfg.RequestsPerWorker, func() (time.Duration, time.Duration, error) {
+			_, err := callable.Call(ctx, input)
+			return 0, 0, err
+		})
+		if err != nil {
+			return res, fmt.Errorf("batchserve: unbatched at %d: %w", workers, err)
+		}
+		// Batched path: fresh server per level so occupancy stats are
+		// level-local.
+		srv, err := dcf.NewServer(sess, spec, opts)
+		if err != nil {
+			return res, err
+		}
+		bt, err := closedLoop(workers, cfg.RequestsPerWorker, func() (time.Duration, time.Duration, error) {
+			start := time.Now()
+			_, info, err := srv.PredictDetailed(ctx, input)
+			return time.Since(start), info.QueueDelay, err
+		})
+		stats := srv.Stats()
+		srv.Close()
+		if err != nil {
+			return res, fmt.Errorf("batchserve: batched at %d: %w", workers, err)
+		}
+		row := BatchServeRow{
+			Concurrency:     workers,
+			BatchedRPS:      bt.rps,
+			UnbatchedRPS:    ub.rps,
+			AvgBatchRows:    stats.AvgBatchRows(),
+			QueueDelayP50Ms: ms(percentile(bt.queueDelays, 50)),
+			QueueDelayP99Ms: ms(percentile(bt.queueDelays, 99)),
+			LatencyP50Ms:    ms(percentile(bt.latencies, 50)),
+			LatencyP99Ms:    ms(percentile(bt.latencies, 99)),
+		}
+		if ub.rps > 0 {
+			row.Speedup = bt.rps / ub.rps
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "%6d %12.0f %12.0f %7.2fx %8.1f %10.3f %10.3f %10.3f\n",
+			workers, row.BatchedRPS, row.UnbatchedRPS, row.Speedup, row.AvgBatchRows,
+			row.QueueDelayP99Ms, row.LatencyP50Ms, row.LatencyP99Ms)
+	}
+
+	if cfg.OpenLoopSeconds > 0 && len(res.Rows) > 0 {
+		best := 0.0
+		for _, r := range res.Rows {
+			if r.BatchedRPS > best {
+				best = r.BatchedRPS
+			}
+		}
+		// Half the sweep's peak: high enough to force real batching,
+		// low enough that the arrival generator (which shares the host
+		// with the server) can hold its schedule.
+		ol, err := openLoop(sess, spec, opts, input, best*0.5, cfg.OpenLoopSeconds)
+		if err != nil {
+			return res, err
+		}
+		res.OpenLoop = ol
+		fprintf(w, "open-loop @ %.0f req/s offered: achieved %.0f, occupancy %.1f, lat p50 %.3fms p99 %.3fms, dropped %d\n",
+			ol.OfferedRPS, ol.AchievedRPS, ol.AvgBatchRows, ol.LatencyP50Ms, ol.LatencyP99Ms, ol.Dropped)
+	}
+	return res, nil
+}
+
+// loopResult aggregates one closed-loop level.
+type loopResult struct {
+	rps         float64
+	latencies   []time.Duration
+	queueDelays []time.Duration
+}
+
+// closedLoop drives workers×perWorker calls of step (which reports its own
+// latency and queue delay; zero for the unbatched path) and aggregates.
+func closedLoop(workers, perWorker int, step func() (lat, qd time.Duration, err error)) (*loopResult, error) {
+	var mu sync.Mutex
+	agg := &loopResult{}
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, perWorker)
+			qds := make([]time.Duration, 0, perWorker)
+			for j := 0; j < perWorker; j++ {
+				lat, qd, err := step()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if lat > 0 {
+					lats = append(lats, lat)
+					qds = append(qds, qd)
+				}
+			}
+			mu.Lock()
+			agg.latencies = append(agg.latencies, lats...)
+			agg.queueDelays = append(agg.queueDelays, qds...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	agg.rps = float64(workers*perWorker) / elapsed.Seconds()
+	return agg, nil
+}
+
+// openLoop fires arrivals at a fixed rate for dur seconds, each in its own
+// goroutine (completion never gates the next arrival), and reports the
+// latency distribution at that offered load.
+func openLoop(sess *dcf.Session, spec dcf.CallableSpec, opts dcf.BatchOptions, input *dcf.Value, rate, durSec float64) (*OpenLoopRow, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("batchserve: open-loop rate must be positive")
+	}
+	srv, err := dcf.NewServer(sess, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	deadline := time.Now().Add(time.Duration(durSec * float64(time.Second)))
+	var mu sync.Mutex
+	var lats []time.Duration
+	var dropped int64
+	var firstErr error
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	arrivals := 0
+	start := time.Now()
+	// A ticking clock drifts under goroutine-scheduling noise; computing
+	// each arrival's nominal time keeps the offered rate honest.
+	for n := 0; ; n++ {
+		next := start.Add(time.Duration(n) * interval)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		arrivals++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := time.Now()
+			_, err := srv.Predict(ctx, input)
+			lat := time.Since(s)
+			mu.Lock()
+			switch {
+			case err == nil:
+				lats = append(lats, lat)
+			case errors.Is(err, dcf.ErrQueueFull):
+				dropped++ // backpressure: the one legitimate loss mode
+			case firstErr == nil:
+				firstErr = err // anything else is a real failure
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := srv.Stats()
+	srv.Close()
+	if firstErr != nil {
+		return nil, fmt.Errorf("batchserve: open-loop request failed: %w", firstErr)
+	}
+	row := &OpenLoopRow{
+		OfferedRPS:   rate,
+		AchievedRPS:  float64(len(lats)) / elapsed.Seconds(),
+		AvgBatchRows: stats.AvgBatchRows(),
+		LatencyP50Ms: ms(percentile(lats, 50)),
+		LatencyP99Ms: ms(percentile(lats, 99)),
+		Dropped:      dropped,
+	}
+	return row, nil
+}

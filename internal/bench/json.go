@@ -64,6 +64,15 @@ func Summarize(rows any, res *ExperimentResult) {
 				res.StepsPerSec = r.StepsPerSec
 			}
 		}
+	case *BatchServeResult:
+		// Headline = peak batched request throughput across the sweep.
+		if rs != nil {
+			for _, r := range rs.Rows {
+				if r.BatchedRPS > res.StepsPerSec {
+					res.StepsPerSec = r.BatchedRPS
+				}
+			}
+		}
 	case []Table1Row:
 		// ns/op = fastest non-OOM cell's per-iteration time.
 		for _, r := range rs {

@@ -229,6 +229,48 @@ func (b *Builder) Placeholder(name string) graph.Output {
 	return b.OpNamed("Placeholder", name, nil)
 }
 
+// PlaceholderTyped adds a placeholder with a declared dtype and shape, so
+// sessions and callables can reject mismatched feeds at the API boundary
+// (naming the placeholder) instead of surfacing opaque kernel errors
+// mid-step. Shape entries of -1 are unknown dims (the usual batch axis);
+// the declared rank is len(shape). An empty shape declares only the dtype.
+func (b *Builder) PlaceholderTyped(name string, dt tensor.DType, shape ...int) graph.Output {
+	attrs := map[string]any{"dtype": int(dt)}
+	if len(shape) > 0 {
+		attrs["shape"] = append([]int(nil), shape...)
+	}
+	return b.OpNamed("Placeholder", name, attrs)
+}
+
+// ValidateFeed checks a feed value against the placeholder node's declared
+// dtype and shape (no-ops for untyped placeholders or non-placeholders).
+// The error names the placeholder, so callers can surface it directly at
+// enqueue/call time.
+func ValidateFeed(n *graph.Node, t *tensor.Tensor) error {
+	if n == nil || n.Op() != "Placeholder" || t == nil {
+		return nil
+	}
+	if dv, ok := n.Attr("dtype").(int); ok && tensor.DType(dv) != t.DType() {
+		return fmt.Errorf("core: feed for placeholder %q: want dtype %v, got %v",
+			n.Name(), tensor.DType(dv), t.DType())
+	}
+	want, ok := n.Attr("shape").([]int)
+	if !ok {
+		return nil
+	}
+	if t.Rank() != len(want) {
+		return fmt.Errorf("core: feed for placeholder %q: want rank %d (shape %v), got rank %d (shape %v)",
+			n.Name(), len(want), want, t.Rank(), t.Shape())
+	}
+	for i, d := range want {
+		if d >= 0 && t.Dim(i) != d {
+			return fmt.Errorf("core: feed for placeholder %q: want shape %v (-1 = any), got %v",
+				n.Name(), want, t.Shape())
+		}
+	}
+	return nil
+}
+
 // Identity adds an identity op.
 func (b *Builder) Identity(v graph.Output) graph.Output { return b.Op("Identity", nil, v) }
 

@@ -132,6 +132,11 @@ func (s *Session) RunCtx(ctx context.Context, opts RunOptions) ([]*tensor.Tensor
 	if err := s.B.Err(); err != nil {
 		return nil, md, fmt.Errorf("core: graph has a construction error: %w", err)
 	}
+	for name, t := range opts.Feeds {
+		if err := ValidateFeed(s.B.G.ByName(name), t); err != nil {
+			return nil, md, err
+		}
+	}
 	plan, nodeCount, err := s.planFor(opts.Fetches, opts.Targets)
 	if err != nil {
 		return nil, md, err
@@ -258,6 +263,10 @@ type Callable struct {
 	s         *Session
 	plan      *exec.Plan
 	feedNames []string
+	// feedNodes are the placeholder nodes behind feedNames, captured at
+	// compile time so each Call validates args (dtype/shape, when the
+	// placeholder declares them) without graph lookups.
+	feedNodes []*graph.Node
 	nodeCount int
 	// version is the graph version the plan was compiled against; Call
 	// fails fast if the graph has mutated since, rather than silently
@@ -278,7 +287,8 @@ func (s *Session) MakeCallable(spec CallableSpec) (*Callable, error) {
 	// twice, which would silently drop all but the first bound arg — is
 	// a spec bug worth failing fast on.
 	seen := make(map[string]bool, len(spec.Feeds))
-	for _, name := range spec.Feeds {
+	feedNodes := make([]*graph.Node, len(spec.Feeds))
+	for i, name := range spec.Feeds {
 		n := s.B.G.ByName(name)
 		if n == nil || n.Op() != "Placeholder" {
 			return nil, fmt.Errorf("core: callable feed %q is not a placeholder", name)
@@ -287,6 +297,7 @@ func (s *Session) MakeCallable(spec CallableSpec) (*Callable, error) {
 			return nil, fmt.Errorf("core: callable feed %q appears twice", name)
 		}
 		seen[name] = true
+		feedNodes[i] = n
 	}
 	plan, err := exec.NewPlan(s.B.G, nodes, spec.Fetches)
 	if err != nil {
@@ -296,6 +307,7 @@ func (s *Session) MakeCallable(spec CallableSpec) (*Callable, error) {
 		s:         s,
 		plan:      plan,
 		feedNames: append([]string(nil), spec.Feeds...),
+		feedNodes: feedNodes,
 		nodeCount: len(nodes),
 		version:   s.B.G.Version(),
 	}, nil
@@ -318,12 +330,35 @@ func (f *positionalFeeder) Feed(name string) (*tensor.Tensor, bool) {
 	return nil, false
 }
 
+// ValidateArgs checks one call's args against the compiled feed signature
+// — non-nil, and matching any dtype/shape the placeholders declare (see
+// Builder.PlaceholderTyped) — without running anything. Errors name the
+// offending placeholder. The batching layer uses it for enqueue-time
+// rejection, so a malformed request never joins (and poisons) a batch.
+func (c *Callable) ValidateArgs(args []*tensor.Tensor) error {
+	if len(args) != len(c.feedNames) {
+		return fmt.Errorf("core: callable takes %d feeds (%v), got %d args",
+			len(c.feedNames), c.feedNames, len(args))
+	}
+	for i, t := range args {
+		if t == nil {
+			return fmt.Errorf("core: callable arg %d (placeholder %q) is nil", i, c.feedNames[i])
+		}
+		if err := ValidateFeed(c.feedNodes[i], t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FeedNames returns the compiled feed signature, in positional order.
+func (c *Callable) FeedNames() []string { return append([]string(nil), c.feedNames...) }
+
 // CallCtx executes the compiled signature with args bound positionally to
 // the spec's feed names, returning fetched tensors in fetch order.
 func (c *Callable) CallCtx(ctx context.Context, args ...*tensor.Tensor) ([]*tensor.Tensor, RunMetadata, error) {
-	if len(args) != len(c.feedNames) {
-		return nil, RunMetadata{}, fmt.Errorf("core: callable takes %d feeds (%v), got %d args",
-			len(c.feedNames), c.feedNames, len(args))
+	if err := c.ValidateArgs(args); err != nil {
+		return nil, RunMetadata{}, err
 	}
 	if v := c.s.B.G.Version(); v != c.version {
 		return nil, RunMetadata{}, fmt.Errorf("core: callable is stale: graph mutated since MakeCallable (version %d, now %d)",
