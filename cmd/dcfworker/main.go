@@ -1,127 +1,111 @@
-// Command dcfworker runs one worker of a two-process distributed
-// while-loop over real TCP — the Figure 6 scenario as separate OS
-// processes. Both processes build the identical graph; the partitioner
-// assigns each worker its device's subgraph (the driver holds the loop
-// predicate, the peer gets a control-loop state machine), and the workers
-// coordinate only through Send/Recv.
+// Command dcfworker is the multi-process cluster runtime's CLI: it runs
+// either a generic worker daemon or the driver of a distributed while-loop
+// across a fleet of such daemons.
 //
-// Terminal 1:
+// Daemon mode (the default) starts a worker that accepts graph
+// registrations and executes multi-step runs — it knows nothing about the
+// graphs it will serve until a driver registers them:
 //
-//	dcfworker -worker wA -listen 127.0.0.1:7401 -peer wB=127.0.0.1:7402
+//	dcfworker -worker wA -listen 127.0.0.1:7401
+//	dcfworker -worker wB -listen 127.0.0.1:7402
 //
-// Terminal 2:
+// Driver mode (-drive) dials the daemons, partitions a while-loop whose
+// body threads a counter through every worker each iteration (a Send/Recv
+// hop per worker, the Figure 6 shape generalized to N workers), registers
+// the partitions, and runs -steps consecutive steps, each in its own
+// rendezvous scope, verifying every result:
 //
-//	dcfworker -worker wB -listen 127.0.0.1:7402 -peer wA=127.0.0.1:7401
+//	dcfworker -drive -addrs 127.0.0.1:7401,127.0.0.1:7402 -steps 100 -iters 10
 //
-// Worker wA drives the loop `for i < 10 { i = (i + 1 computed on wB) }` and
-// prints the result.
+// The daemon serves until SIGINT/SIGTERM. Failure model: killing a daemon
+// mid-step fails only that step on the driver (with an error naming the
+// worker); once the daemon is back, the driver redials, re-registers, and
+// the next step succeeds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/graph"
-	"repro/internal/partition"
-	"repro/internal/rendezvous"
+	"repro/internal/cluster"
+	"repro/internal/distrib"
+	"repro/internal/tensor"
 )
 
-// buildGraph constructs the shared two-worker loop: driver device "wA/cpu",
-// remote body op on "wB/cpu".
-func buildGraph() (*core.Builder, graph.Output) {
-	b := core.NewBuilder()
-	var outs []graph.Output
-	b.WithDevice("wA/cpu", func() {
-		outs = b.While(
-			[]graph.Output{b.Scalar(0)},
-			func(v []graph.Output) graph.Output { return b.Less(v[0], b.Scalar(10)) },
-			func(v []graph.Output) []graph.Output {
-				var r graph.Output
-				b.WithDevice("wB/cpu", func() {
-					r = b.Add(v[0], b.Scalar(1))
-				})
-				return []graph.Output{r}
-			},
-			core.WhileOpts{Name: "dist"},
-		)
-	})
-	return b, outs[0]
-}
-
-func workerOf(device string) string {
-	if i := strings.IndexByte(device, '/'); i >= 0 {
-		return device[:i]
-	}
-	return device
-}
-
 func main() {
-	worker := flag.String("worker", "wA", "this worker's name (wA drives and prints)")
-	listen := flag.String("listen", "127.0.0.1:7401", "rendezvous listen address")
-	peer := flag.String("peer", "", "peer as name=addr")
+	worker := flag.String("worker", "w0", "daemon: this worker's name (rendezvous keys route by it)")
+	listen := flag.String("listen", "127.0.0.1:7401", "daemon: control address drivers dial")
+	data := flag.String("data", "127.0.0.1:0", "daemon: rendezvous data-plane address (0 = ephemeral port)")
+	drive := flag.Bool("drive", false, "run as driver instead of daemon")
+	addrs := flag.String("addrs", "", "driver: comma-separated worker control addresses")
+	steps := flag.Int("steps", 100, "driver: consecutive steps to run")
+	iters := flag.Int("iters", 10, "driver: loop iterations per step (the fed trip count)")
 	flag.Parse()
 
-	b, fetch := buildGraph()
-	if err := b.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *drive {
+		os.Exit(runDriver(strings.Split(*addrs, ","), *steps, *iters))
 	}
-	partition.Place(b.G, "wA/cpu")
-	res, err := partition.Partition(b.G, core.Prune(b.G, []graph.Output{fetch}, nil), workerOf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	os.Exit(runDaemon(*worker, *listen, *data))
+}
 
-	rv, err := rendezvous.NewNet(*worker, *listen)
+func runDaemon(name, ctrlAddr, dataAddr string) int {
+	w, err := cluster.NewWorker(name, ctrlAddr, dataAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	defer rv.Close()
-	if *peer != "" {
-		parts := strings.SplitN(*peer, "=", 2)
-		if len(parts) != 2 {
-			fmt.Fprintln(os.Stderr, "-peer must be name=addr")
-			os.Exit(1)
-		}
-		rv.AddPeer(parts[0], parts[1])
-	}
+	fmt.Printf("worker %s: control %s, data %s\n", w.Name(), w.Addr(), w.DataAddr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("worker %s: shutting down\n", w.Name())
+	w.Close()
+	return 0
+}
 
-	// Gather this worker's nodes (a worker may host several devices).
-	var mine []*graph.Node
-	for dev, nodes := range res.Parts {
-		if workerOf(dev) == *worker {
-			mine = append(mine, nodes...)
+func runDriver(addrs []string, steps, iters int) int {
+	if len(addrs) == 0 || addrs[0] == "" {
+		fmt.Fprintln(os.Stderr, "driver mode needs -addrs")
+		return 1
+	}
+	fleet, err := distrib.Dial(addrs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer fleet.Close()
+	workers := fleet.Workers()
+	fmt.Printf("driver: fleet %v\n", workers)
+
+	b, outs := cluster.BuildHopLoop(workers)
+	tc, err := fleet.NewCluster(b, outs, nil, distrib.TCPOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer tc.Close()
+
+	limit := tensor.Scalar(float64(iters))
+	start := time.Now()
+	for s := 1; s <= steps; s++ {
+		vals, err := tc.Run(map[string]*tensor.Tensor{"limit": limit})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "step %d: %v\n", s, err)
+			return 1
+		}
+		if got := vals[0].ScalarValue(); got != float64(iters) {
+			fmt.Fprintf(os.Stderr, "step %d: result %v, want %d\n", s, got, iters)
+			return 1
 		}
 	}
-	var fetches []graph.Output
-	if *worker == "wA" {
-		fetches = []graph.Output{fetch}
-	}
-	ex, err := exec.New(exec.Config{
-		Graph:      b.G,
-		Nodes:      mine,
-		Fetches:    fetches,
-		Rendezvous: rv,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("worker %s: executing %d nodes, listening on %s\n", *worker, len(mine), rv.Addr())
-	vals, err := ex.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if *worker == "wA" {
-		fmt.Printf("distributed loop result: %v\n", vals[0].T)
-	} else {
-		fmt.Println("worker done")
-	}
+	elapsed := time.Since(start)
+	fmt.Printf("driver: %d steps x %d iterations across %d workers in %v (%.1f steps/s, %.1f iters/s)\n",
+		steps, iters, len(workers), elapsed.Round(time.Millisecond),
+		float64(steps)/elapsed.Seconds(), float64(steps*iters)/elapsed.Seconds())
+	return 0
 }

@@ -35,6 +35,33 @@
 // -exp serving` for the unbatched concurrency sweep, and `cmd/dcfbench
 // -exp batchserve` for the batched latency/throughput frontier.
 //
+// # Distributed execution
+//
+// Dynamic control flow runs distributed (§3, §4.4): partitions on
+// different workers make independent progress, coordinating only through
+// Send/Recv — the driver participates at step start and completion, never
+// per iteration. Two transports implement this contract:
+//
+//   - In-process: distrib.NewCluster runs one executor per device over a
+//     shared rendezvous with configurable simulated latency/bandwidth (the
+//     benchmarks' deterministic fabric stand-in).
+//   - Multi-process: distrib.Dial connects to generic worker daemons
+//     (internal/cluster.Worker, the cmd/dcfworker CLI) over TCP;
+//     Fleet.NewCluster partitions the graph by worker, ships each daemon
+//     its gob-encoded subgraph once (plans compile at registration), and
+//     TCPCluster.RunCtx runs steps against the cached plans. Every step
+//     executes in a private rendezvous key scope, so an aborted step can
+//     never leak tokens into the next; driver-side ctx cancellation fans
+//     out as an abort control message that drains blocked Recvs on every
+//     worker. Killing a daemon mid-step fails only that step with a
+//     wrapped error naming the worker; after a restart the driver
+//     redials, re-registers, and the next step succeeds.
+//
+// See internal/cluster/README.md for the wire protocol, step scoping, and
+// failure model; examples/tcpcluster for an end-to-end demo; and
+// `cmd/dcfbench -exp tcpdist` for the steps/sec sweep against worker
+// count and injected fabric latency.
+//
 // # Runtime performance knobs
 //
 // The executor hot path (internal/exec, see its README.md) is dense-indexed

@@ -73,6 +73,12 @@ func Summarize(rows any, res *ExperimentResult) {
 				}
 			}
 		}
+	case []TCPDistRow:
+		for _, r := range rs {
+			if r.StepsPerSec > res.StepsPerSec {
+				res.StepsPerSec = r.StepsPerSec
+			}
+		}
 	case []Table1Row:
 		// ns/op = fastest non-OOM cell's per-iteration time.
 		for _, r := range rs {

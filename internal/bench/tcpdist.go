@@ -1,0 +1,137 @@
+// The tcpdist experiment measures the multi-process cluster runtime: worker
+// daemons (real TCP on loopback, in-process for determinism), a driver
+// registering a partitioned while-loop, and consecutive steps each in a
+// private rendezvous scope. It sweeps worker count and injected one-way
+// fabric latency, reporting steps/sec and loop iterations/sec — the
+// distributed analogue of Figure 11 over actual sockets.
+//
+// The same caveat as Fig11 applies to injected latencies on single-core
+// hosts: Go timer granularity dominates sub-millisecond sleeps, so the
+// latency cells measure "latency-bound" vs "compute-bound" shape rather
+// than a precise per-microsecond slope.
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distrib"
+	"repro/internal/tensor"
+)
+
+// TCPDistRow is one cell of the sweep.
+type TCPDistRow struct {
+	Workers     int
+	LatencyUs   float64
+	StepsPerSec float64
+	ItersPerSec float64
+	MsPerStep   float64
+}
+
+// TCPDistConfig parameterizes the sweep.
+type TCPDistConfig struct {
+	Workers   []int           // fleet sizes
+	Latencies []time.Duration // injected one-way latency per hop
+	Steps     int             // measured steps per cell
+	Iters     int             // loop iterations per step
+}
+
+// DefaultTCPDist mirrors the evaluation's loopback scale.
+func DefaultTCPDist(quick bool) TCPDistConfig {
+	cfg := TCPDistConfig{
+		Workers:   []int{2, 4, 8},
+		Latencies: []time.Duration{0, 200 * time.Microsecond, time.Millisecond},
+		Steps:     100,
+		Iters:     10,
+	}
+	if quick {
+		cfg.Workers = []int{2, 4}
+		cfg.Latencies = []time.Duration{0, 200 * time.Microsecond}
+		cfg.Steps = 25
+		cfg.Iters = 5
+	}
+	return cfg
+}
+
+// runTCPDistCase measures one (workers, latency) cell: daemons up, graph
+// registered, warm-up step, then cfg.Steps timed steps.
+func runTCPDistCase(nWorkers int, latency time.Duration, cfg TCPDistConfig) (TCPDistRow, error) {
+	row := TCPDistRow{Workers: nWorkers, LatencyUs: float64(latency.Microseconds())}
+	daemons := make([]*cluster.Worker, 0, nWorkers)
+	names := make([]string, 0, nWorkers)
+	addrs := make([]string, 0, nWorkers)
+	defer func() {
+		for _, d := range daemons {
+			d.Close()
+		}
+	}()
+	for i := 0; i < nWorkers; i++ {
+		name := fmt.Sprintf("bw%02d", i)
+		d, err := cluster.NewWorker(name, "127.0.0.1:0", "127.0.0.1:0")
+		if err != nil {
+			return row, err
+		}
+		daemons = append(daemons, d)
+		names = append(names, name)
+		addrs = append(addrs, d.Addr())
+	}
+	fleet, err := distrib.Dial(addrs...)
+	if err != nil {
+		return row, err
+	}
+	defer fleet.Close()
+	b, outs := cluster.BuildHopLoop(names)
+	tc, err := fleet.NewCluster(b, outs, nil, distrib.TCPOptions{
+		Latency: latency,
+		Workers: Workers,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer tc.Close()
+
+	feeds := map[string]*tensor.Tensor{"limit": tensor.Scalar(float64(cfg.Iters))}
+	if _, err := tc.Run(feeds); err != nil {
+		return row, fmt.Errorf("warm-up: %w", err)
+	}
+	d, err := timeIt(func() error {
+		for s := 0; s < cfg.Steps; s++ {
+			vals, err := tc.Run(feeds)
+			if err != nil {
+				return fmt.Errorf("step %d: %w", s, err)
+			}
+			if got := vals[0].ScalarValue(); got != float64(cfg.Iters) {
+				return fmt.Errorf("step %d: result %v, want %d (cross-step leak?)", s, got, cfg.Iters)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	row.StepsPerSec = float64(cfg.Steps) / d.Seconds()
+	row.ItersPerSec = float64(cfg.Steps*cfg.Iters) / d.Seconds()
+	row.MsPerStep = d.Seconds() * 1e3 / float64(cfg.Steps)
+	return row, nil
+}
+
+// TCPDist runs the sweep.
+func TCPDist(cfg TCPDistConfig, w io.Writer) ([]TCPDistRow, error) {
+	fprintf(w, "tcpdist: multi-process cluster steps/sec (%d steps x %d iterations per cell)\n", cfg.Steps, cfg.Iters)
+	fprintf(w, "%8s %12s %12s %12s %12s\n", "workers", "latency_us", "steps/s", "iters/s", "ms/step")
+	var rows []TCPDistRow
+	for _, n := range cfg.Workers {
+		for _, lat := range cfg.Latencies {
+			row, err := runTCPDistCase(n, lat, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("tcpdist workers=%d latency=%v: %w", n, lat, err)
+			}
+			rows = append(rows, row)
+			fprintf(w, "%8d %12.0f %12.1f %12.1f %12.3f\n", row.Workers, row.LatencyUs, row.StepsPerSec, row.ItersPerSec, row.MsPerStep)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPDistShape runs a miniature sweep over real loopback sockets and
+// checks the rows are well-formed (one per cell, positive rates).
+func TestTCPDistShape(t *testing.T) {
+	cfg := TCPDistConfig{
+		Workers:   []int{2, 3},
+		Latencies: []time.Duration{0},
+		Steps:     4,
+		Iters:     3,
+	}
+	rows, err := TCPDist(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.StepsPerSec <= 0 || r.ItersPerSec <= 0 {
+			t.Fatalf("non-positive rate in row %+v", r)
+		}
+		ratio := r.ItersPerSec / r.StepsPerSec
+		if ratio < float64(cfg.Iters)*0.999 || ratio > float64(cfg.Iters)*1.001 {
+			t.Fatalf("iters/steps inconsistent: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is the driver's handle on one worker daemon: it multiplexes
+// registrations, step launches, and aborts over a single control
+// connection, matching asynchronous step responses back to their callers by
+// (graph, step). A Client whose connection dies fails every outstanding
+// step with the transport error and stays dead; the driver redials a fresh
+// one (see distrib.Fleet) and re-registers.
+type Client struct {
+	addr     string
+	name     string
+	dataAddr string
+
+	wmu  sync.Mutex // serializes request writes
+	conn net.Conn
+	enc  *gob.Encoder
+
+	pmu     sync.Mutex
+	pending map[stepKey]chan *StepResp
+	regCh   chan *RegResp
+	helloCh chan *HelloResp
+	err     error
+	done    chan struct{}
+
+	regMu sync.Mutex // one registration round trip at a time
+	wg    sync.WaitGroup
+}
+
+type stepKey struct {
+	gid  uint64
+	step uint64
+}
+
+// DialTimeout bounds the control-connection handshake.
+const helloTimeout = 10 * time.Second
+
+// DialWorker connects to a worker daemon's control address and performs the
+// hello handshake, learning the worker's name and data-plane address.
+func DialWorker(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, helloTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
+	}
+	c := &Client{
+		addr:    addr,
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: map[stepKey]chan *StepResp{},
+		helloCh: make(chan *HelloResp, 1),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	if err := c.write(&Envelope{Hello: &HelloReq{}}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	select {
+	case h := <-c.helloCh:
+		// Under pmu: readLoop's failure path reads these via workerLabel
+		// concurrently with this assignment.
+		c.pmu.Lock()
+		c.name = h.Worker
+		c.dataAddr = h.DataAddr
+		c.pmu.Unlock()
+	case <-c.done:
+		return nil, fmt.Errorf("cluster: hello to %s: %w", addr, c.Err())
+	case <-time.After(helloTimeout):
+		c.Close()
+		return nil, fmt.Errorf("cluster: hello to %s timed out", addr)
+	}
+	return c, nil
+}
+
+// Name returns the worker's self-reported name.
+func (c *Client) Name() string {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.name
+}
+
+// Addr returns the control address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// DataAddr returns the worker's rendezvous data-plane address.
+func (c *Client) DataAddr() string {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.dataAddr
+}
+
+// Err returns the transport error that killed the client (nil while alive).
+func (c *Client) Err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.err
+}
+
+// Alive reports whether the control connection is still usable.
+func (c *Client) Alive() bool { return c.Err() == nil }
+
+// Close tears the connection down, failing outstanding calls.
+func (c *Client) Close() {
+	c.conn.Close()
+	c.wg.Wait()
+}
+
+func (c *Client) write(env *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.Err(); err != nil {
+		return err
+	}
+	if err := c.enc.Encode(env); err != nil {
+		err = fmt.Errorf("cluster: worker %s: %w", c.workerLabel(), err)
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+func (c *Client) workerLabel() string {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.name != "" {
+		return c.name
+	}
+	return c.addr
+}
+
+// fail marks the client dead and delivers the error to every waiter.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.err != nil {
+		c.pmu.Unlock()
+		return
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = map[stepKey]chan *StepResp{}
+	reg := c.regCh
+	c.regCh = nil
+	close(c.done)
+	c.pmu.Unlock()
+	for k, ch := range pending {
+		ch <- &StepResp{GraphID: k.gid, Step: k.step, Err: err.Error()}
+	}
+	if reg != nil {
+		reg <- &RegResp{Err: err.Error()}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var env RespEnvelope
+		if err := dec.Decode(&env); err != nil {
+			c.fail(fmt.Errorf("cluster: worker %s connection lost: %w", c.workerLabel(), err))
+			c.conn.Close()
+			return
+		}
+		switch {
+		case env.Hello != nil:
+			select {
+			case c.helloCh <- env.Hello:
+			default:
+			}
+		case env.Reg != nil:
+			c.pmu.Lock()
+			ch := c.regCh
+			c.regCh = nil
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- env.Reg
+			}
+		case env.Step != nil:
+			k := stepKey{gid: env.Step.GraphID, step: env.Step.Step}
+			c.pmu.Lock()
+			ch := c.pending[k]
+			delete(c.pending, k)
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- env.Step
+			}
+		}
+	}
+}
+
+// Register installs a graph on the worker and waits for its ack.
+func (c *Client) Register(rg *RegisterGraph) error {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	ch := make(chan *RegResp, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return err
+	}
+	c.regCh = ch
+	c.pmu.Unlock()
+	if err := c.write(&Envelope{Reg: rg}); err != nil {
+		return err
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return fmt.Errorf("cluster: register on %s: %s", c.workerLabel(), resp.Err)
+	}
+	return nil
+}
+
+// StartStep launches a step; the response (values or error) arrives on the
+// returned channel. A dead transport fails the step immediately.
+func (c *Client) StartStep(req *StepReq) <-chan *StepResp {
+	ch := make(chan *StepResp, 1)
+	k := stepKey{gid: req.GraphID, step: req.Step}
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		ch <- &StepResp{GraphID: req.GraphID, Step: req.Step, Err: err.Error()}
+		return ch
+	}
+	c.pending[k] = ch
+	c.pmu.Unlock()
+	if err := c.write(&Envelope{Step: req}); err != nil {
+		// fail() already delivered the error to ch via pending.
+		c.pmu.Lock()
+		if _, still := c.pending[k]; still {
+			delete(c.pending, k)
+			c.pmu.Unlock()
+			ch <- &StepResp{GraphID: req.GraphID, Step: req.Step, Err: err.Error()}
+		} else {
+			c.pmu.Unlock()
+		}
+	}
+	return ch
+}
+
+// Abort asks the worker to cancel a running step (best effort).
+func (c *Client) Abort(gid, step uint64, reason string) {
+	_ = c.write(&Envelope{Abort: &AbortReq{GraphID: gid, Step: step, Reason: reason}})
+}
+
+// Release discards a graph registration on the worker (best effort).
+func (c *Client) Release(gid uint64) {
+	_ = c.write(&Envelope{Release: &ReleaseReq{GraphID: gid}})
+}

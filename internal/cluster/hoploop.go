@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// BuildHopLoop constructs the canonical multi-worker demo/bench graph: a
+// while loop driven on workers[0] whose trip count is the fed "limit"
+// placeholder and whose body threads the counter through every other
+// worker each iteration — one Send/Recv hop per worker per iteration, the
+// Figure 6 scenario generalized to N workers. Each body pass increments
+// the counter by exactly one (the per-hop +1s are normalized back on the
+// driver), so the loop's single fetch equals the fed limit; a wrong value
+// on any step means tokens leaked across steps or hops were lost. With a
+// single worker the body increments locally (no hops) so the loop still
+// terminates.
+func BuildHopLoop(workers []string) (*core.Builder, []graph.Output) {
+	b := core.NewBuilder()
+	var outs []graph.Output
+	b.WithDevice(workers[0]+"/cpu", func() {
+		limit := b.Placeholder("limit")
+		outs = b.While(
+			[]graph.Output{b.Scalar(0)},
+			func(v []graph.Output) graph.Output { return b.Less(v[0], limit) },
+			func(v []graph.Output) []graph.Output {
+				cur := v[0]
+				if len(workers) == 1 {
+					return []graph.Output{b.Add(cur, b.Scalar(1))}
+				}
+				for _, w := range workers[1:] {
+					w := w
+					b.WithDevice(w+"/cpu", func() {
+						cur = b.Add(cur, b.Scalar(1))
+					})
+				}
+				if extra := float64(len(workers) - 2); extra > 0 {
+					cur = b.Sub(cur, b.Scalar(extra))
+				}
+				return []graph.Output{cur}
+			},
+			core.WhileOpts{Name: "hoploop"},
+		)
+	})
+	return b, outs
+}

@@ -1,0 +1,472 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/rendezvous"
+	"repro/internal/tensor"
+)
+
+var debugCluster = os.Getenv("CLUSTER_DEBUG") != ""
+
+// Worker is the generic cluster daemon: one OS process hosting any number of
+// registered graphs, executing its partitions step by step against cached
+// plans, and exchanging tensors with peer workers over the TCP rendezvous.
+// It is driven entirely by the control protocol (see proto.go) — it knows
+// nothing about the graphs it will run until a driver registers them.
+type Worker struct {
+	name string
+	ctrl net.Listener
+	rv   *rendezvous.Net
+
+	mu     sync.Mutex
+	graphs map[uint64]*workerGraph
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// workerGraph is one cached registration: the rebuilt graph, one compiled
+// plan per hosted device, and the per-step bookkeeping that cancellation and
+// scope release need.
+type workerGraph struct {
+	g        *graph.Graph
+	parts    []WirePartition
+	plans    map[string]*exec.Plan
+	parallel int
+	workers  int
+	// sessRes persists across the graph's steps (session-lifetime
+	// resources); it is lost if the worker restarts — the coarse-grained
+	// checkpoint failure model of §3.
+	sessRes *ops.Resources
+	owner   net.Conn // control conn that registered this graph
+
+	mu       sync.Mutex
+	steps    map[uint64]context.CancelFunc // in-flight steps
+	released uint64                        // scopes of steps <= released are dropped
+}
+
+// NewWorker starts a worker daemon: a control listener on ctrlAddr and a
+// rendezvous data plane on dataAddr (use "127.0.0.1:0" to let the kernel
+// pick). It serves until Close.
+func NewWorker(name, ctrlAddr, dataAddr string) (*Worker, error) {
+	rv, err := rendezvous.NewNet(name, dataAddr)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		rv.Close()
+		return nil, fmt.Errorf("cluster: listen %s: %w", ctrlAddr, err)
+	}
+	w := &Worker{
+		name:   name,
+		ctrl:   ln,
+		rv:     rv,
+		graphs: map[uint64]*workerGraph{},
+		conns:  map[net.Conn]struct{}{},
+	}
+	// Deliveries addressed to released steps (or released graphs) are
+	// stragglers: drop them instead of resurrecting their scope tables.
+	rv.SetScopeFilter(w.allowScope)
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Name returns the worker's name (rendezvous keys route by it).
+func (w *Worker) Name() string { return w.name }
+
+// Addr returns the control address drivers dial.
+func (w *Worker) Addr() string { return w.ctrl.Addr().String() }
+
+// DataAddr returns the rendezvous data-plane address peers dial.
+func (w *Worker) DataAddr() string { return w.rv.Addr() }
+
+// ScopeCount exposes the live rendezvous scope tables (leak tests).
+func (w *Worker) ScopeCount() int { return w.rv.ScopeCount() }
+
+// Close shuts the daemon down: control conns, in-flight steps, data plane.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	for c := range w.conns {
+		c.Close()
+	}
+	graphs := make(map[uint64]*workerGraph, len(w.graphs))
+	for gid, g := range w.graphs {
+		graphs[gid] = g
+	}
+	w.mu.Unlock()
+	w.ctrl.Close()
+	for gid, g := range graphs {
+		w.abortGraphSteps(gid, g, fmt.Errorf("cluster: worker %s closed", w.name))
+	}
+	w.rv.Close()
+	w.wg.Wait()
+}
+
+func (w *Worker) allowScope(scope string) bool {
+	gid, step, ok := ParseScope(scope)
+	if !ok {
+		return true // not a step scope: unscoped traffic stays untouched
+	}
+	w.mu.Lock()
+	g := w.graphs[gid]
+	w.mu.Unlock()
+	if g == nil {
+		return false // released or never-registered graph
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return step > g.released
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ctrl.Accept()
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.handleConn(conn)
+	}
+}
+
+// handleConn serves one driver session. Requests are decoded in order;
+// steps run asynchronously so Abort requests behind them are still seen.
+func (w *Worker) handleConn(conn net.Conn) {
+	defer w.wg.Done()
+	var wmu sync.Mutex // serializes response writes from step goroutines
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	send := func(resp *RespEnvelope) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = enc.Encode(resp) // a broken conn surfaces on the next Decode
+	}
+	var registered []uint64
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+		// The driver is gone: tear down what it registered, unless a
+		// reconnected driver has already re-registered the graph (then the
+		// new conn owns it). The ownership check happens inside
+		// releaseGraphIf's critical section — checking here and releasing
+		// there would race a concurrent re-registration and delete the new
+		// owner's graph.
+		for _, gid := range registered {
+			w.releaseGraphIf(gid, conn, fmt.Errorf("cluster: driver connection lost"))
+		}
+	}()
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		switch {
+		case env.Hello != nil:
+			send(&RespEnvelope{Hello: &HelloResp{Worker: w.name, DataAddr: w.rv.Addr()}})
+		case env.Reg != nil:
+			if debugCluster {
+				fmt.Printf("[%s] register g%d\n", w.name, env.Reg.GraphID)
+			}
+			err := w.register(env.Reg, conn)
+			if err == nil {
+				registered = append(registered, env.Reg.GraphID)
+			}
+			send(&RespEnvelope{Reg: &RegResp{GraphID: env.Reg.GraphID, Err: wrapErr(err)}})
+		case env.Step != nil:
+			req := env.Step
+			if debugCluster {
+				fmt.Printf("[%s] step req g%d s%d\n", w.name, req.GraphID, req.Step)
+			}
+			w.mu.Lock()
+			g := w.graphs[req.GraphID]
+			w.mu.Unlock()
+			if g == nil {
+				send(&RespEnvelope{Step: &StepResp{GraphID: req.GraphID, Step: req.Step,
+					Err: fmt.Sprintf("cluster: worker %s: graph %d not registered", w.name, req.GraphID)}})
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			g.mu.Lock()
+			g.steps[req.Step] = cancel
+			// Advance the watermark of cluster-wide completed steps.
+			advanced := req.ReleaseThrough > g.released
+			if advanced {
+				g.released = req.ReleaseThrough
+			}
+			g.mu.Unlock()
+			// Drop every live scope at or below the watermark — a sweep of
+			// the live tables (bounded by the in-flight window plus any
+			// straggler-created entries), never a replay of step history.
+			// It runs outside g.mu: the rendezvous delivery path evaluates
+			// the scope filter (which takes g.mu) under its own lock, so
+			// holding g.mu across a release would invert the order.
+			if advanced {
+				gid := req.GraphID
+				through := req.ReleaseThrough
+				w.rv.ReleaseScopesIf(func(scope string) bool {
+					g2, s2, ok := ParseScope(scope)
+					return ok && g2 == gid && s2 <= through
+				})
+			}
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				resp := w.runStep(g, req, ctx)
+				if debugCluster {
+					fmt.Printf("[%s] step resp g%d s%d err=%q\n", w.name, resp.GraphID, resp.Step, resp.Err)
+				}
+				g.mu.Lock()
+				delete(g.steps, req.Step)
+				g.mu.Unlock()
+				cancel()
+				send(&RespEnvelope{Step: resp})
+			}()
+		case env.Abort != nil:
+			if debugCluster {
+				fmt.Printf("[%s] abort req g%d s%d: %s\n", w.name, env.Abort.GraphID, env.Abort.Step, env.Abort.Reason)
+			}
+			w.mu.Lock()
+			g := w.graphs[env.Abort.GraphID]
+			w.mu.Unlock()
+			if g == nil {
+				continue
+			}
+			reason := env.Abort.Reason
+			if reason == "" {
+				reason = "aborted by driver"
+			}
+			err := fmt.Errorf("cluster: step %d aborted: %s", env.Abort.Step, reason)
+			// Abort the scope first so blocked Recvs drain, then cancel
+			// the executors' context so they stop launching kernels.
+			w.rv.AbortScope(ScopeName(env.Abort.GraphID, env.Abort.Step), err)
+			g.mu.Lock()
+			cancel := g.steps[env.Abort.Step]
+			g.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		case env.Release != nil:
+			w.releaseGraph(env.Release.GraphID, fmt.Errorf("cluster: graph released"))
+		}
+	}
+}
+
+// register rebuilds the graph, compiles one plan per hosted device, and
+// installs the registration (replacing any previous one under the same id).
+func (w *Worker) register(rg *RegisterGraph, owner net.Conn) error {
+	g, byName, err := BuildGraph(rg.Nodes)
+	if err != nil {
+		return err
+	}
+	resolve := func(wo WireOutput) (graph.Output, error) {
+		n := byName[wo.Node]
+		if n == nil {
+			return graph.Output{}, fmt.Errorf("cluster: fetch references unknown node %q", wo.Node)
+		}
+		return n.Out(wo.Index), nil
+	}
+	plans := make(map[string]*exec.Plan, len(rg.Parts))
+	for _, part := range rg.Parts {
+		nodes := make([]*graph.Node, 0, len(part.Nodes))
+		for _, name := range part.Nodes {
+			n := byName[name]
+			if n == nil {
+				return fmt.Errorf("cluster: partition %q lists unknown node %q", part.Device, name)
+			}
+			nodes = append(nodes, n)
+		}
+		fetches := make([]graph.Output, 0, len(part.Fetches))
+		for _, f := range part.Fetches {
+			o, err := resolve(f)
+			if err != nil {
+				return err
+			}
+			fetches = append(fetches, o)
+		}
+		p, err := exec.NewPlan(g, nodes, fetches)
+		if err != nil {
+			return fmt.Errorf("cluster: partition %q: %w", part.Device, err)
+		}
+		plans[part.Device] = p
+	}
+	for peer, addr := range rg.Peers {
+		if peer != w.name {
+			w.rv.AddPeer(peer, addr)
+		}
+	}
+	// Unconditional: a zero-latency registration must clear any fabric
+	// injection a previous registration configured on this daemon.
+	w.rv.SetFabric(rg.Latency, rg.Bandwidth)
+	wg := &workerGraph{
+		g:        g,
+		parts:    rg.Parts,
+		plans:    plans,
+		parallel: rg.ParallelIterations,
+		workers:  rg.Workers,
+		sessRes:  ops.NewResources(),
+		owner:    owner,
+		steps:    map[uint64]context.CancelFunc{},
+	}
+	w.mu.Lock()
+	old := w.graphs[rg.GraphID]
+	w.graphs[rg.GraphID] = wg
+	w.mu.Unlock()
+	if old != nil {
+		w.abortGraphSteps(rg.GraphID, old, fmt.Errorf("cluster: graph %d re-registered", rg.GraphID))
+		w.dropScopes(rg.GraphID)
+	}
+	return nil
+}
+
+// releaseGraph aborts a graph's in-flight steps, drops its scopes, and
+// forgets the registration.
+func (w *Worker) releaseGraph(gid uint64, cause error) {
+	w.releaseGraphIf(gid, nil, cause)
+}
+
+// releaseGraphIf is releaseGraph conditioned on ownership: when owner is
+// non-nil the registration is only torn down if that control conn still
+// owns it, atomically with the lookup — so a disconnect's deferred cleanup
+// can never delete a graph a reconnected driver just re-registered.
+func (w *Worker) releaseGraphIf(gid uint64, owner net.Conn, cause error) {
+	w.mu.Lock()
+	g := w.graphs[gid]
+	if g == nil || (owner != nil && g.owner != owner) {
+		w.mu.Unlock()
+		return
+	}
+	delete(w.graphs, gid)
+	w.mu.Unlock()
+	w.abortGraphSteps(gid, g, cause)
+	w.dropScopes(gid)
+}
+
+// dropScopes releases every scope the graph still holds. Later stragglers
+// are discarded by the scope filter (the graph is unregistered or its
+// released watermark covers them).
+func (w *Worker) dropScopes(gid uint64) {
+	w.rv.ReleaseScopesIf(func(scope string) bool {
+		g2, _, ok := ParseScope(scope)
+		return ok && g2 == gid
+	})
+}
+
+// abortGraphSteps fails every in-flight step of the graph: the step scope
+// aborts (blocked Recvs drain with cause) and the executors' context is
+// canceled (no new kernels launch).
+func (w *Worker) abortGraphSteps(gid uint64, g *workerGraph, cause error) {
+	g.mu.Lock()
+	steps := make(map[uint64]context.CancelFunc, len(g.steps))
+	for s, c := range g.steps {
+		steps[s] = c
+	}
+	g.mu.Unlock()
+	for s, cancel := range steps {
+		w.rv.AbortScope(ScopeName(gid, s), cause)
+		cancel()
+	}
+}
+
+// runStep executes one step across the worker's device partitions, exactly
+// like the in-process distrib.Cluster: one executor per device, one shared
+// kernel pool, coordination only through the (step-scoped) rendezvous. The
+// first partition failure aborts the scope so sibling partitions drain.
+func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *StepResp {
+	resp := &StepResp{GraphID: req.GraphID, Step: req.Step}
+	feeds, err := FeedsFromWire(req.Feeds)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	scope := ScopeName(req.GraphID, req.Step)
+	rv := w.rv.Scope(scope)
+
+	var pool *exec.Pool
+	if g.workers != exec.WorkersSpawn {
+		pool = exec.NewPool(g.workers)
+		defer pool.Close()
+	}
+	stepRes := ops.NewResources()
+	type devResult struct {
+		dev  string
+		vals []ops.Value
+		err  error
+	}
+	results := make(chan devResult, len(g.parts))
+	for _, part := range g.parts {
+		go func(dev string) {
+			ex, err := exec.NewFromPlan(g.plans[dev], exec.Config{
+				Ctx:                ctx,
+				Feeds:              feeds,
+				StepRes:            stepRes,
+				SessionRes:         g.sessRes,
+				RNG:                tensor.NewRNG(req.Step*1000003 + req.GraphID*7 + 17),
+				Rendezvous:         rv,
+				ParallelIterations: g.parallel,
+				Workers:            g.workers,
+				Pool:               pool,
+			})
+			if err != nil {
+				results <- devResult{dev: dev, err: err}
+				return
+			}
+			vals, err := ex.Run()
+			results <- devResult{dev: dev, vals: vals, err: err}
+		}(part.Device)
+	}
+	collected := map[string][]ops.Value{}
+	var firstErr error
+	for range g.parts {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("worker %s partition %q: %w", w.name, r.dev, r.err)
+			// Drain this worker's sibling partitions; remote partitions
+			// learn through the driver's AbortReq fan-out.
+			rv.Abort(firstErr)
+		}
+		collected[r.dev] = r.vals
+	}
+	if firstErr != nil {
+		resp.Err = firstErr.Error()
+		return resp
+	}
+	for _, part := range g.parts {
+		vals := collected[part.Device]
+		for i := range part.Fetches {
+			t, err := vals[i].Tensor()
+			if err != nil {
+				resp.Err = fmt.Sprintf("worker %s fetch %s: %v", w.name, part.Fetches[i].Node, err)
+				return resp
+			}
+			resp.Vals = append(resp.Vals, TensorToWire(t))
+		}
+	}
+	return resp
+}

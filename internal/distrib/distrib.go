@@ -8,8 +8,14 @@
 // Cluster is the in-process form: partitions run in one process connected
 // by a shared rendezvous with configurable injected network latency (the
 // benchmarks' deterministic stand-in for the paper's production fabric).
-// The TCP worker (cmd/dcfworker, internal/rendezvous.Net) runs the same
-// partitions across OS processes.
+//
+// TCPCluster is the multi-process form: Dial connects to generic worker
+// daemons (internal/cluster.Worker, the cmd/dcfworker CLI), Fleet.NewCluster
+// registers each worker's partitions once (gob-encoded subgraph, plans
+// compiled and cached at registration), and RunCtx executes steps whose
+// rendezvous keys are scoped per step over the wire; driver-side
+// cancellation and worker failures fan out as abort control messages so
+// every partition's blocked Recvs drain. See internal/cluster/README.md.
 package distrib
 
 import (

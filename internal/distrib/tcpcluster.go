@@ -1,0 +1,536 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Fleet is a set of dialed worker daemons (cmd/dcfworker processes, or
+// in-process cluster.Workers in tests and benchmarks). One fleet can host
+// any number of TCPClusters; workers are addressed by the names they
+// self-report in the hello handshake. A worker whose control connection
+// dies is redialed lazily on the next step that needs it — the restart
+// path that makes "kill a worker, restart it, keep stepping" work.
+type Fleet struct {
+	mu      sync.Mutex
+	workers map[string]*fleetWorker
+	closed  bool
+	nextGID uint64
+}
+
+// fleetWorker is one daemon's slot in the fleet. Redials happen under the
+// slot's own mutex so a down worker's connect timeout never stalls fleet
+// operations that touch only healthy workers.
+type fleetWorker struct {
+	addr string
+
+	mu     sync.Mutex
+	client *cluster.Client
+	epoch  int // bumped on every successful redial
+}
+
+// Dial connects to worker daemons at the given control addresses and
+// performs the hello handshake with each.
+func Dial(addrs ...string) (*Fleet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distrib: Dial needs at least one worker address")
+	}
+	f := &Fleet{workers: map[string]*fleetWorker{}}
+	for _, addr := range addrs {
+		c, err := cluster.DialWorker(addr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, dup := f.workers[c.Name()]; dup {
+			c.Close()
+			f.Close()
+			return nil, fmt.Errorf("distrib: two workers report the name %q", c.Name())
+		}
+		f.workers[c.Name()] = &fleetWorker{addr: addr, client: c, epoch: 1}
+	}
+	return f, nil
+}
+
+// Workers lists the fleet's worker names, sorted.
+func (f *Fleet) Workers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.workers))
+	for n := range f.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close tears down every control connection. A closed fleet stays closed:
+// later steps fail fast instead of silently redialing connections nothing
+// would ever clean up.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	workers := make([]*fleetWorker, 0, len(f.workers))
+	for _, w := range f.workers {
+		workers = append(workers, w)
+	}
+	f.mu.Unlock()
+	for _, w := range workers {
+		w.mu.Lock()
+		if w.client != nil {
+			w.client.Close()
+		}
+		w.mu.Unlock()
+	}
+}
+
+// client returns a live client for the worker, redialing a dead one (the
+// daemon may have restarted at the same control address). The epoch
+// increments on every redial so clusters know to re-register. Only the
+// worker's own slot is locked across the dial, so a down worker's connect
+// timeout never delays operations on its healthy peers.
+func (f *Fleet) client(name string) (*cluster.Client, int, error) {
+	f.mu.Lock()
+	w, ok := f.workers[name]
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, 0, fmt.Errorf("distrib: fleet closed")
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("distrib: unknown worker %q", name)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.client.Alive() {
+		return w.client, w.epoch, nil
+	}
+	w.client.Close()
+	fresh, err := cluster.DialWorker(w.addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("distrib: worker %q is down: %w", name, err)
+	}
+	if fresh.Name() != name {
+		fresh.Close()
+		return nil, 0, fmt.Errorf("distrib: worker at %s now reports name %q, want %q", w.addr, fresh.Name(), name)
+	}
+	// Re-check closed while holding the slot: a Close that ran between the
+	// first check and the redial must not be undone by installing a fresh
+	// client nothing would ever close. (A Close that starts after this
+	// check blocks on w.mu and will close the fresh client itself.)
+	f.mu.Lock()
+	closed = f.closed
+	f.mu.Unlock()
+	if closed {
+		fresh.Close()
+		return nil, 0, fmt.Errorf("distrib: fleet closed")
+	}
+	w.client = fresh
+	w.epoch++
+	return fresh, w.epoch, nil
+}
+
+// liveClient returns the worker's current client if it is alive, without
+// redialing (used by teardown paths that must not block on a dead daemon).
+func (f *Fleet) liveClient(name string) *cluster.Client {
+	f.mu.Lock()
+	w := f.workers[name]
+	f.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.client != nil && w.client.Alive() {
+		return w.client
+	}
+	return nil
+}
+
+// gid allocates a fleet-unique graph id.
+func (f *Fleet) gid() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextGID++
+	return f.nextGID
+}
+
+// TCPOptions configures a multi-process cluster.
+type TCPOptions struct {
+	// DefaultDevice places unplaced nodes.
+	DefaultDevice string
+	// WorkerOf maps devices to worker names; the default takes the device
+	// prefix before '/' ("wA/cpu" -> "wA", "w1" -> "w1"). Every worker it
+	// names must be in the fleet.
+	WorkerOf partition.WorkerOf
+	// ParallelIterations overrides the loop window on every worker.
+	ParallelIterations int
+	// Workers sizes each worker daemon's per-step kernel pool
+	// (0 = GOMAXPROCS there; exec.WorkersSpawn = legacy spawn).
+	Workers int
+	// Latency/Bandwidth inject simulated fabric characteristics into every
+	// worker's rendezvous deliveries (benchmark sweeps on loopback).
+	Latency   time.Duration
+	Bandwidth float64
+}
+
+// DeviceWorker is the default TCPOptions.WorkerOf.
+func DeviceWorker(dev string) string {
+	if i := strings.IndexByte(dev, '/'); i >= 0 {
+		return dev[:i]
+	}
+	return dev
+}
+
+// TCPCluster executes a partitioned graph across worker daemons: the same
+// contract as the in-process Cluster (fetches fixed at construction, each
+// Run one step, reassembly in caller order) but with every partition on a
+// remote worker. The driver is a pure coordinator: it broadcasts the step,
+// waits for completions, and fans a cancellation or first failure out to
+// the other workers so their blocked Recvs drain (§3's failure model: the
+// step dies, the cluster survives).
+type TCPCluster struct {
+	fleet   *Fleet
+	gid     uint64
+	opts    TCPOptions
+	fetches []graph.Output
+	workers []string // participating workers, registration order
+
+	// regMu guards the registration state (regs, registeredEpoch) against
+	// concurrent RunCtx callers racing a reconnect's re-registration.
+	regMu           sync.Mutex
+	regs            map[string]*cluster.RegisterGraph
+	registeredEpoch map[string]int
+
+	// fetchWorker/fetchSlot route each caller fetch to (worker, index in
+	// that worker's StepResp.Vals).
+	fetchWorker []string
+	fetchSlot   []int
+
+	mu          sync.Mutex
+	step        uint64
+	outstanding map[uint64]bool
+	released    uint64 // all steps <= released completed cluster-wide
+	closed      bool
+}
+
+// NewCluster prunes the builder's graph to the fetches/targets, partitions
+// it across the fleet's workers, and registers each worker's partitions on
+// its daemon (plans compile once, at registration).
+func (f *Fleet) NewCluster(b *core.Builder, fetches []graph.Output, targets []*graph.Node, opts TCPOptions) (*TCPCluster, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	if opts.DefaultDevice == "" {
+		opts.DefaultDevice = "cpu:0"
+	}
+	if opts.WorkerOf == nil {
+		opts.WorkerOf = DeviceWorker
+	}
+	partition.Place(b.G, opts.DefaultDevice)
+	nodes := core.Prune(b.G, fetches, targets)
+	res, err := partition.Partition(b.G, nodes, opts.WorkerOf)
+	if err != nil {
+		return nil, err
+	}
+	if err := partition.Validate(res); err != nil {
+		return nil, err
+	}
+	byWorker, workerOrder := partition.ByWorker(res, opts.WorkerOf)
+
+	c := &TCPCluster{
+		fleet:           f,
+		gid:             f.gid(),
+		opts:            opts,
+		fetches:         fetches,
+		workers:         workerOrder,
+		regs:            map[string]*cluster.RegisterGraph{},
+		registeredEpoch: map[string]int{},
+		fetchWorker:     make([]string, len(fetches)),
+		fetchSlot:       make([]int, len(fetches)),
+		outstanding:     map[uint64]bool{},
+	}
+
+	// Route each fetch to the worker (and response slot) that produces it.
+	perDev := map[string][]cluster.WireOutput{}
+	for i, fe := range fetches {
+		if fe.Node == nil {
+			return nil, fmt.Errorf("distrib: invalid fetch %d", i)
+		}
+		dev := fe.Node.Device()
+		c.fetchWorker[i] = opts.WorkerOf(dev)
+		perDev[dev] = append(perDev[dev], cluster.WireOutput{Node: fe.Node.Name(), Index: fe.Index})
+	}
+	// Per worker: concatenated parts in device order fix the slot layout.
+	fetchBase := map[string]int{} // device -> base slot within its worker's Vals
+	for _, w := range workerOrder {
+		base := 0
+		for _, dev := range byWorker[w] {
+			fetchBase[dev] = base
+			base += len(perDev[dev])
+		}
+	}
+	devSeen := map[string]int{}
+	for i, fe := range fetches {
+		dev := fe.Node.Device()
+		c.fetchSlot[i] = fetchBase[dev] + devSeen[dev]
+		devSeen[dev]++
+	}
+
+	// Build one registration per worker: the closed union of its devices'
+	// partitions plus the per-device node lists and fetches. The Peers map
+	// is left nil here — registerAll fills it with fresh data-plane
+	// addresses (and thereby verifies the fleet covers every partitioned
+	// worker) on every (re)registration.
+	for _, w := range workerOrder {
+		var union []*graph.Node
+		var parts []cluster.WirePartition
+		for _, dev := range byWorker[w] {
+			devNodes := res.Parts[dev]
+			union = append(union, devNodes...)
+			names := make([]string, len(devNodes))
+			for i, n := range devNodes {
+				names[i] = n.Name()
+			}
+			parts = append(parts, cluster.WirePartition{
+				Device:  dev,
+				Nodes:   names,
+				Fetches: perDev[dev],
+			})
+		}
+		wireNodes, err := cluster.EncodeNodes(union)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: worker %q: %w", w, err)
+		}
+		c.regs[w] = &cluster.RegisterGraph{
+			GraphID:            c.gid,
+			Nodes:              wireNodes,
+			Parts:              parts,
+			Peers:              nil, // filled by registerAll
+			ParallelIterations: opts.ParallelIterations,
+			Workers:            opts.Workers,
+			Latency:            opts.Latency,
+			Bandwidth:          opts.Bandwidth,
+		}
+	}
+	if err := c.registerAll(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// registerAll (re)installs the graph on every participating worker with
+// fresh peer addresses, recording the epoch each registration landed on.
+// Callers hold c.regMu (NewCluster is pre-publication and exempt).
+func (c *TCPCluster) registerAll() error {
+	// Refresh the peer map first: a restarted worker has a new data addr.
+	peers := map[string]string{}
+	for _, w := range c.workers {
+		cl, _, err := c.fleet.client(w)
+		if err != nil {
+			return err
+		}
+		peers[w] = cl.DataAddr()
+	}
+	for _, w := range c.workers {
+		cl, epoch, err := c.fleet.client(w)
+		if err != nil {
+			return err
+		}
+		c.regs[w].Peers = peers
+		if err := cl.Register(c.regs[w]); err != nil {
+			return err
+		}
+		c.registeredEpoch[w] = epoch
+	}
+	return nil
+}
+
+// Workers returns the participating worker names in registration order.
+func (c *TCPCluster) Workers() []string { return append([]string(nil), c.workers...) }
+
+// Run executes one step (Background context).
+func (c *TCPCluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return c.RunCtx(context.Background(), feeds)
+}
+
+// RunCtx executes one step under ctx: feeds are broadcast to every worker,
+// the workers' executors make independent progress coordinating only
+// through the step-scoped rendezvous, and the fetches come back reassembled
+// in caller order. Cancellation (or the first worker failure) is fanned out
+// as an abort so every partition's blocked Recvs drain; the step fails with
+// a wrapped error and the cluster remains usable for the next step.
+func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("distrib: cluster closed")
+	}
+	c.step++
+	step := c.step
+	c.outstanding[step] = true
+	released := c.released
+	c.mu.Unlock()
+	defer c.finishStep(step)
+
+	// Reconnect path: if any worker's control conn died (daemon restart),
+	// redial and re-register everywhere — peer data addresses changed.
+	// regMu serializes concurrent steps through this check so one of them
+	// re-registers and the rest observe the fresh epochs.
+	c.regMu.Lock()
+	reRegister := false
+	for _, w := range c.workers {
+		_, epoch, err := c.fleet.client(w)
+		if err != nil {
+			c.regMu.Unlock()
+			return nil, fmt.Errorf("distrib: step %d: %w", step, err)
+		}
+		if epoch != c.registeredEpoch[w] {
+			reRegister = true
+		}
+	}
+	if reRegister {
+		if err := c.registerAll(); err != nil {
+			c.regMu.Unlock()
+			return nil, fmt.Errorf("distrib: step %d: %w", step, err)
+		}
+	}
+	c.regMu.Unlock()
+
+	wireFeeds := cluster.FeedsToWire(feeds)
+	type workerChan struct {
+		name string
+		cl   *cluster.Client
+		ch   <-chan *cluster.StepResp
+	}
+	launched := make([]workerChan, 0, len(c.workers))
+	for _, w := range c.workers {
+		cl, _, err := c.fleet.client(w)
+		if err != nil {
+			// A worker died between the epoch check and launch: abort the
+			// step on every worker already launched, or their executors
+			// would block in cross-worker Recvs for tokens that will never
+			// arrive.
+			for _, wc := range launched {
+				wc.cl.Abort(c.gid, step, err.Error())
+			}
+			return nil, fmt.Errorf("distrib: step %d: %w", step, err)
+		}
+		ch := cl.StartStep(&cluster.StepReq{
+			GraphID:        c.gid,
+			Step:           step,
+			Feeds:          wireFeeds,
+			ReleaseThrough: released,
+		})
+		launched = append(launched, workerChan{name: w, cl: cl, ch: ch})
+	}
+
+	abortAll := func(reason string) {
+		for _, wc := range launched {
+			wc.cl.Abort(c.gid, step, reason)
+		}
+	}
+	// Fan the responses in as they arrive: the first failure (or the
+	// context firing) must abort the other workers immediately — waiting
+	// on workers in a fixed order would let a healthy-but-blocked worker
+	// delay the fan-out.
+	type namedResp struct {
+		name string
+		r    *cluster.StepResp
+	}
+	agg := make(chan namedResp, len(launched))
+	for _, wc := range launched {
+		wc := wc
+		go func() { agg <- namedResp{name: wc.name, r: <-wc.ch} }()
+	}
+	var firstErr error
+	aborted := false
+	resps := map[string]*cluster.StepResp{}
+	for len(resps) < len(launched) {
+		select {
+		case nr := <-agg:
+			if nr.r.Err != "" && firstErr == nil {
+				firstErr = fmt.Errorf("distrib: step %d: worker %q: %s", step, nr.name, nr.r.Err)
+				if !aborted {
+					aborted = true
+					abortAll(nr.r.Err)
+				}
+			}
+			resps[nr.name] = nr.r
+		case <-ctx.Done():
+			// Fan the abort out and return promptly — blocking here until
+			// every worker answers would let one wedged-but-connected
+			// daemon defeat cancellation. The forwarder goroutines drain
+			// into the buffered agg channel (no leak), and the canceled
+			// step's scopes are reclaimed by the release watermark.
+			abortAll(context.Cause(ctx).Error())
+			return nil, fmt.Errorf("distrib: step %d canceled: %w", step, context.Cause(ctx))
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Reassemble fetches in caller order.
+	out := make([]*tensor.Tensor, len(c.fetches))
+	for i := range c.fetches {
+		r := resps[c.fetchWorker[i]]
+		if r == nil {
+			return nil, fmt.Errorf("distrib: step %d: no response from worker %q for fetch %d", step, c.fetchWorker[i], i)
+		}
+		if c.fetchSlot[i] >= len(r.Vals) {
+			return nil, fmt.Errorf("distrib: step %d: worker %q returned %d values, fetch %d needs slot %d",
+				step, c.fetchWorker[i], len(r.Vals), i, c.fetchSlot[i])
+		}
+		t, err := cluster.TensorFromWire(r.Vals[c.fetchSlot[i]])
+		if err != nil {
+			return nil, fmt.Errorf("distrib: fetch %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// finishStep retires a step and advances the completed-through watermark
+// (piggybacked on the next StepReq so workers can release old scopes).
+func (c *TCPCluster) finishStep(step uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.outstanding, step)
+	min := c.step + 1
+	for s := range c.outstanding {
+		if s < min {
+			min = s
+		}
+	}
+	if min-1 > c.released {
+		c.released = min - 1
+	}
+}
+
+// Close releases the graph on every worker. The fleet stays open for other
+// clusters.
+func (c *TCPCluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, w := range c.workers {
+		if cl := c.fleet.liveClient(w); cl != nil {
+			cl.Release(c.gid)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package distrib
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// startWorkers launches n in-process worker daemons (real TCP on loopback)
+// named w0..w{n-1} and returns them with their control addresses.
+func startWorkers(t *testing.T, n int) ([]*cluster.Worker, []string) {
+	t.Helper()
+	workers := make([]*cluster.Worker, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := cluster.NewWorker(workerName(i), "127.0.0.1:0", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	t.Cleanup(func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	})
+	return workers, addrs
+}
+
+func workerName(i int) string { return "w" + string(rune('A'+i)) }
+
+// TestTCPCluster100Steps is the core acceptance scenario: a driver plus two
+// worker daemons run a partitioned while-loop for 100+ consecutive steps,
+// each step in its own rendezvous scope, with no cross-step leakage (scope
+// tables must not accumulate).
+func TestTCPCluster100Steps(t *testing.T) {
+	workers, addrs := startWorkers(t, 2)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	b, outs := cluster.BuildHopLoop([]string{"wA", "wB"})
+	tc, err := fleet.NewCluster(b, outs, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	const steps = 101
+	for s := 0; s < steps; s++ {
+		// Vary the trip count per step: a leaked token from step s would
+		// surface as a wrong result in step s+1.
+		limit := float64(3 + s%5)
+		vals, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(limit)})
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		if got := vals[0].ScalarValue(); got != limit {
+			t.Fatalf("step %d: result %v, want %v", s, got, limit)
+		}
+	}
+	// Scopes of completed steps are released as the watermark advances
+	// (lag <= the in-flight window, not O(steps)).
+	for i, w := range workers {
+		if c := w.ScopeCount(); c > 4 {
+			t.Fatalf("worker %d holds %d scope tables after %d steps (leak)", i, c, steps)
+		}
+	}
+}
+
+// TestTCPClusterSingleWorker: a one-daemon fleet still terminates (the hop
+// loop degenerates to a local increment) — no remote hops, all rendezvous
+// routing is worker-local.
+func TestTCPClusterSingleWorker(t *testing.T) {
+	_, addrs := startWorkers(t, 1)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	b, outs := cluster.BuildHopLoop([]string{"wA"})
+	tc, err := fleet.NewCluster(b, outs, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	vals, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals[0].ScalarValue(); got != 9 {
+		t.Fatalf("got %v, want 9", got)
+	}
+}
+
+// TestTCPClusterFourWorkers runs the loop across four daemons (multi-hop
+// body) to cover >2-worker routing and fetch reassembly.
+func TestTCPClusterFourWorkers(t *testing.T) {
+	_, addrs := startWorkers(t, 4)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	b, outs := cluster.BuildHopLoop([]string{"wA", "wB", "wC", "wD"})
+	tc, err := fleet.NewCluster(b, outs, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	for s := 0; s < 5; s++ {
+		vals, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(6)})
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		if got := vals[0].ScalarValue(); got != 6 {
+			t.Fatalf("step %d: result %v, want 6", s, got)
+		}
+	}
+}
+
+// TestTCPClusterCancellation: driver-side context cancellation propagates
+// to remote partitions as an abort control message — the step fails with
+// the cancellation cause, blocked Recvs drain (the step actually returns),
+// and the next step runs clean.
+func TestTCPClusterCancellation(t *testing.T) {
+	_, addrs := startWorkers(t, 2)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	b, outs := cluster.BuildHopLoop([]string{"wA", "wB"})
+	tc, err := fleet.NewCluster(b, outs, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Effectively unbounded loop: only cancellation ends this step.
+		_, err := tc.RunCtx(ctx, map[string]*tensor.Tensor{"limit": tensor.Scalar(1e12)})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled step succeeded")
+		}
+		if !strings.Contains(err.Error(), "cancel") {
+			t.Fatalf("want cancellation error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled step never returned (blocked Recvs did not drain)")
+	}
+	// The cluster survives: the next step runs to completion.
+	vals, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(4)})
+	if err != nil {
+		t.Fatalf("step after cancellation: %v", err)
+	}
+	if got := vals[0].ScalarValue(); got != 4 {
+		t.Fatalf("step after cancellation: %v, want 4", got)
+	}
+}
+
+// TestTCPClusterWorkerKilledMidStep: killing one worker mid-step fails only
+// that step (with an error naming the worker); after the daemon restarts at
+// the same control address, the driver redials, re-registers, and the next
+// step succeeds.
+func TestTCPClusterWorkerKilledMidStep(t *testing.T) {
+	workers, addrs := startWorkers(t, 2)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	b, outs := cluster.BuildHopLoop([]string{"wA", "wB"})
+	tc, err := fleet.NewCluster(b, outs, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	// Warm step.
+	if _, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(3)}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tc.RunCtx(context.Background(), map[string]*tensor.Tensor{"limit": tensor.Scalar(1e12)})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	ctrlAddr := workers[1].Addr()
+	workers[1].Close() // kill wB mid-step
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("step survived a worker death")
+		}
+		if !strings.Contains(err.Error(), "wB") && !strings.Contains(err.Error(), "wA") {
+			t.Fatalf("error does not identify a worker: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("step never failed after worker death")
+	}
+
+	// Restart the daemon at the same control address (fresh data plane).
+	w2, err := cluster.NewWorker("wB", ctrlAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("restart worker: %v", err)
+	}
+	workers[1] = w2
+	t.Cleanup(w2.Close)
+
+	vals, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(5)})
+	if err != nil {
+		t.Fatalf("step after worker restart: %v", err)
+	}
+	if got := vals[0].ScalarValue(); got != 5 {
+		t.Fatalf("step after restart: %v, want 5", got)
+	}
+}
+
+// TestTCPClusterMultiDevicePerWorker: a worker may host several devices
+// (each its own executor); fetches reassemble in caller order across
+// devices and workers.
+func TestTCPClusterMultiDevicePerWorker(t *testing.T) {
+	_, addrs := startWorkers(t, 2)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	b := core.NewBuilder()
+	var a, c, d graph.Output
+	b.WithDevice("wA/cpu:0", func() {
+		a = b.Add(b.Scalar(1), b.Scalar(2))
+	})
+	b.WithDevice("wB/cpu:0", func() {
+		c = b.Mul(a, b.Scalar(10))
+	})
+	b.WithDevice("wA/cpu:1", func() {
+		d = b.Add(c, b.Scalar(0.5))
+	})
+	tc, err := fleet.NewCluster(b, []graph.Output{d, a, c}, nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	vals, err := tc.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{30.5, 3, 30}
+	for i, w := range want {
+		if got := vals[i].ScalarValue(); got != w {
+			t.Fatalf("fetch %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestTCPClusterInjectedLatency sanity-checks the fabric injection knob:
+// with 2ms one-way latency every cross-worker hop pays it, so a 5-iteration
+// two-hop loop takes at least ~10ms.
+func TestTCPClusterInjectedLatency(t *testing.T) {
+	_, addrs := startWorkers(t, 2)
+	fleet, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	b, outs := cluster.BuildHopLoop([]string{"wA", "wB"})
+	tc, err := fleet.NewCluster(b, outs, nil, TCPOptions{Latency: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	start := time.Now()
+	vals, err := tc.Run(map[string]*tensor.Tensor{"limit": tensor.Scalar(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals[0].ScalarValue(); got != 5 {
+		t.Fatalf("got %v, want 5", got)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("step took %v; injected latency not applied", d)
+	}
+}

@@ -324,3 +324,22 @@ func Validate(res *Result) error {
 	}
 	return nil
 }
+
+// ByWorker groups a partition result's devices by hosting worker (the unit
+// the multi-process cluster runtime registers and routes by), preserving
+// res.Devices first-seen order within groups and across the worker list.
+func ByWorker(res *Result, workerOf WorkerOf) (map[string][]string, []string) {
+	if workerOf == nil {
+		workerOf = func(string) string { return "w0" }
+	}
+	devs := map[string][]string{}
+	var order []string
+	for _, dev := range res.Devices {
+		w := workerOf(dev)
+		if _, ok := devs[w]; !ok {
+			order = append(order, w)
+		}
+		devs[w] = append(devs[w], dev)
+	}
+	return devs, order
+}

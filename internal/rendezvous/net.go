@@ -6,10 +6,19 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/tensor"
+)
+
+// dialAttempts x dialBackoff bounds how long a Send waits for a peer that
+// has not come up yet (peers of a cluster may start in any order).
+const (
+	dialAttempts = 50
+	dialBackoff  = 100 * time.Millisecond
+	dialTimeout  = time.Second
 )
 
 // wireMsg is the on-the-wire form of a token.
@@ -42,7 +51,10 @@ func toWire(key string, t exec.Token) (*wireMsg, error) {
 	return m, nil
 }
 
-func fromWire(m *wireMsg) exec.Token {
+// fromWire decodes a wire message into a token. An unrecognized dtype is an
+// explicit error: silently producing a token with a nil tensor surfaces much
+// later as a confusing nil dereference inside a kernel.
+func fromWire(m *wireMsg) (exec.Token, error) {
 	tok := exec.Token{Dead: m.Dead}
 	if m.HasT {
 		var v *tensor.Tensor
@@ -55,27 +67,53 @@ func fromWire(m *wireMsg) exec.Token {
 			v = tensor.FromBools(m.B, m.Shape...)
 		case tensor.Str:
 			v = tensor.FromStrings(m.S, m.Shape...)
+		default:
+			return exec.Token{}, fmt.Errorf("rendezvous: key %q carries unknown dtype %d", m.Key, m.DType)
 		}
 		tok.Val.T = v
 	}
-	return tok
+	return tok, nil
+}
+
+// peerConn is the outbound connection to one peer worker. Each peer has its
+// own mutex so a dial or encode in flight to a slow peer never delays sends
+// to any other peer (Net.mu guards only the lookup tables).
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
 }
 
 // Net is a TCP rendezvous for multi-process execution: each worker runs a
 // server; Send routes to the destination worker parsed from the key's
-// ";dst=<worker>;" component (the partitioner embeds it); Recv waits on the
+// ";dstw=<worker>;" component (the partitioner embeds it); Recv waits on a
 // local table.
+//
+// Keys may carry a scope prefix ("<scope>|<key>", see Scope): each scope is
+// an independent key table with its own abort, which is how the cluster
+// runtime gives every step a private key space over the shared, long-lived
+// transport — aborting or releasing one step cannot poison the next.
 type Net struct {
-	self  string
-	local *Local
+	self string
 
-	mu       sync.Mutex
-	peers    map[string]string // worker -> address
-	conns    map[string]*gob.Encoder
-	raw      map[string]net.Conn
-	accepted []net.Conn
-	ln       net.Listener
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	peers     map[string]string    // worker -> address
+	conns     map[string]*peerConn // worker -> outbound connection
+	raw       map[string]net.Conn  // worker -> established socket (for eviction)
+	live      map[net.Conn]struct{}
+	scopes    map[string]*Local
+	accepted  map[net.Conn]struct{}
+	latency   time.Duration
+	bandwidth float64
+	ln        net.Listener
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// filter, when set, decides whether an incoming wire message may be
+	// delivered to its scope. The cluster worker uses it to drop stragglers
+	// addressed to released steps instead of resurrecting their tables.
+	filter atomic.Value // func(scope string) bool
 }
 
 // NewNet starts a worker's rendezvous server on addr (e.g. "127.0.0.1:0").
@@ -85,12 +123,15 @@ func NewNet(self, addr string) (*Net, error) {
 		return nil, fmt.Errorf("rendezvous: listen: %w", err)
 	}
 	n := &Net{
-		self:  self,
-		local: NewLocal(0, 0),
-		peers: map[string]string{},
-		conns: map[string]*gob.Encoder{},
-		raw:   map[string]net.Conn{},
-		ln:    ln,
+		self:     self,
+		peers:    map[string]string{},
+		conns:    map[string]*peerConn{},
+		raw:      map[string]net.Conn{},
+		live:     map[net.Conn]struct{}{},
+		scopes:   map[string]*Local{},
+		accepted: map[net.Conn]struct{}{},
+		ln:       ln,
+		closed:   make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.serve()
@@ -100,26 +141,134 @@ func NewNet(self, addr string) (*Net, error) {
 // Addr returns the listening address.
 func (n *Net) Addr() string { return n.ln.Addr().String() }
 
-// AddPeer registers a peer worker's address.
+// AddPeer registers (or updates) a peer worker's address. When the address
+// changes (the peer restarted elsewhere), the established connection to the
+// previous incarnation is closed immediately: a gob encode onto a
+// half-dead socket can succeed into the void, silently losing the first
+// sends of the next step, so the stale conn must not survive the update.
 func (n *Net) AddPeer(worker, addr string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	old, had := n.peers[worker]
 	n.peers[worker] = addr
-}
-
-// Close shuts the server and connections down.
-func (n *Net) Close() {
-	n.ln.Close()
-	n.mu.Lock()
-	for _, c := range n.raw {
-		c.Close()
-	}
-	for _, c := range n.accepted {
-		c.Close()
+	var stale net.Conn
+	if had && old != addr {
+		stale = n.raw[worker]
 	}
 	n.mu.Unlock()
-	n.local.Abort(fmt.Errorf("rendezvous: closed"))
+	if stale != nil {
+		stale.Close() // the next send's encode fails, evicts, and redials
+	}
+}
+
+// SetFabric injects simulated network characteristics: latency is added to
+// every delivery and bandwidth (bytes/second, 0 = infinite) adds a
+// size-proportional delay, exactly as in the in-process Local. It applies to
+// scopes created after the call (the cluster worker sets it at graph
+// registration, before any step runs).
+func (n *Net) SetFabric(latency time.Duration, bandwidth float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = latency
+	n.bandwidth = bandwidth
+}
+
+// SetScopeFilter installs the delivery filter (nil accepts everything).
+func (n *Net) SetScopeFilter(f func(scope string) bool) {
+	n.filter.Store(f)
+}
+
+// Close shuts the server and all connections down and aborts every scope.
+func (n *Net) Close() {
+	n.closeOnce.Do(func() { close(n.closed) })
+	n.ln.Close()
+	n.mu.Lock()
+	for c := range n.live {
+		c.Close()
+	}
+	for c := range n.accepted {
+		c.Close()
+	}
+	scopes := make([]*Local, 0, len(n.scopes))
+	for _, s := range n.scopes {
+		scopes = append(scopes, s)
+	}
+	n.mu.Unlock()
+	for _, s := range scopes {
+		s.Abort(fmt.Errorf("rendezvous: closed"))
+	}
 	n.wg.Wait()
+}
+
+// scopeOf splits the scope prefix from a key ("" for unscoped keys).
+func scopeOf(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return ""
+}
+
+// scopeTable returns the key table of one scope, creating it on demand
+// unless the scope filter rejects the scope (ok=false). The filter check
+// and creation are atomic under n.mu, so neither a remote straggler nor a
+// local operation from a still-draining aborted step can resurrect a table
+// that ReleaseScope just dropped — nothing would ever reclaim it. (Filter
+// callbacks must not call back into Net.)
+func (n *Net) scopeTable(scope string) (*Local, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.scopes[scope]
+	if ok {
+		return s, true
+	}
+	if f, _ := n.filter.Load().(func(string) bool); f != nil && !f(scope) {
+		return nil, false
+	}
+	s = NewLocal(n.latency, n.bandwidth)
+	n.scopes[scope] = s
+	select {
+	case <-n.closed:
+		defer s.Abort(fmt.Errorf("rendezvous: closed"))
+	default:
+	}
+	return s, true
+}
+
+// AbortScope fails all pending and future operations of one scope, leaving
+// every other scope untouched (the per-step mirror of Local.Abort). A scope
+// the filter has retired is a no-op: its operations already fail fast.
+func (n *Net) AbortScope(scope string, err error) {
+	if s, ok := n.scopeTable(scope); ok {
+		s.Abort(err)
+	}
+}
+
+// ReleaseScope drops a scope's key table, reclaiming tokens that were
+// published but never consumed (e.g. by an aborted step).
+func (n *Net) ReleaseScope(scope string) {
+	n.mu.Lock()
+	delete(n.scopes, scope)
+	n.mu.Unlock()
+}
+
+// ReleaseScopesIf drops every live scope the predicate selects — O(live
+// tables), not O(name space), so callers can retire "everything at or below
+// a watermark" without replaying step history. The predicate must not call
+// back into Net (n.mu is held).
+func (n *Net) ReleaseScopesIf(pred func(scope string) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name := range n.scopes {
+		if pred(name) {
+			delete(n.scopes, name)
+		}
+	}
+}
+
+// ScopeCount reports the number of live scope tables (for leak tests).
+func (n *Net) ScopeCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.scopes)
 }
 
 func (n *Net) serve() {
@@ -130,22 +279,44 @@ func (n *Net) serve() {
 			return
 		}
 		n.mu.Lock()
-		n.accepted = append(n.accepted, conn)
+		n.accepted[conn] = struct{}{}
 		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				n.mu.Lock()
+				delete(n.accepted, conn)
+				n.mu.Unlock()
+			}()
 			dec := gob.NewDecoder(conn)
 			for {
 				var m wireMsg
 				if err := dec.Decode(&m); err != nil {
 					return
 				}
-				_ = n.local.Send(m.Key, fromWire(&m))
+				n.deliverWire(&m)
 			}
 		}()
 	}
+}
+
+// deliverWire routes one received message into its scope's table (dropping
+// stragglers addressed to filter-retired scopes; see scopeTable).
+func (n *Net) deliverWire(m *wireMsg) {
+	tok, derr := fromWire(m)
+	s, ok := n.scopeTable(scopeOf(m.Key))
+	if !ok {
+		return // straggler for a released step
+	}
+	if derr != nil {
+		// A decode failure poisons only the affected scope: its receivers
+		// observe the error instead of a nil tensor.
+		s.Abort(derr)
+		return
+	}
+	_ = s.Send(m.Key, tok)
 }
 
 // DstWorker extracts the destination worker from a rendezvous key.
@@ -162,51 +333,200 @@ func DstWorker(key string) string {
 	return ""
 }
 
+// peerFor returns the destination's connection slot, creating it if needed.
+func (n *Net) peerFor(dst string) (*peerConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, known := n.peers[dst]; !known {
+		return nil, fmt.Errorf("rendezvous: unknown worker %q", dst)
+	}
+	pc, ok := n.conns[dst]
+	if !ok {
+		pc = &peerConn{}
+		n.conns[dst] = pc
+	}
+	return pc, nil
+}
+
+// dialLocked establishes pc's connection (pc.mu held). Peers may come up in
+// any order, so it retries briefly — but the backoff respects Close and the
+// caller's cancel signal instead of sleeping blind.
+func (n *Net) dialLocked(pc *peerConn, dst string, cancel <-chan struct{}) error {
+	n.mu.Lock()
+	addr := n.peers[dst]
+	n.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(dialBackoff):
+			case <-n.closed:
+				return fmt.Errorf("rendezvous: dial %s: closed", dst)
+			case <-cancel:
+				return fmt.Errorf("rendezvous: dial %s: aborted", dst)
+			}
+			// The peer may have re-registered at a new address while we
+			// were backing off (worker restart).
+			n.mu.Lock()
+			addr = n.peers[dst]
+			n.mu.Unlock()
+		}
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			pc.conn = conn
+			pc.enc = gob.NewEncoder(conn)
+			n.mu.Lock()
+			n.live[conn] = struct{}{}
+			n.raw[dst] = conn
+			n.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("rendezvous: dial %s: %w", dst, lastErr)
+}
+
+// redialLocked makes one immediate dial attempt (pc.mu held): the
+// post-encode-failure recovery path, where waiting out the boot-order
+// backoff would stall the failing step for seconds.
+func (n *Net) redialLocked(pc *peerConn, dst string) error {
+	n.mu.Lock()
+	addr := n.peers[dst]
+	n.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("rendezvous: dial %s: %w", dst, err)
+	}
+	pc.conn = conn
+	pc.enc = gob.NewEncoder(conn)
+	n.mu.Lock()
+	n.live[conn] = struct{}{}
+	n.raw[dst] = conn
+	n.mu.Unlock()
+	return nil
+}
+
+// evictLocked drops pc's broken connection (pc.mu held) so the next send
+// redials instead of failing forever on a dead encoder.
+func (n *Net) evictLocked(pc *peerConn, dst string) {
+	if pc.conn != nil {
+		pc.conn.Close()
+		n.mu.Lock()
+		delete(n.live, pc.conn)
+		if n.raw[dst] == pc.conn {
+			delete(n.raw, dst)
+		}
+		n.mu.Unlock()
+	}
+	pc.conn = nil
+	pc.enc = nil
+}
+
 // Send routes the token to the destination worker.
 func (n *Net) Send(key string, t exec.Token) error {
+	return n.send(key, t, nil)
+}
+
+func (n *Net) send(key string, t exec.Token, cancel <-chan struct{}) error {
 	dst := DstWorker(key)
 	if dst == "" || dst == n.self {
-		return n.local.Send(key, t)
+		local, ok := n.scopeTable(scopeOf(key))
+		if !ok {
+			return fmt.Errorf("rendezvous: send of %q: scope released", key)
+		}
+		return local.Send(key, t)
 	}
 	m, err := toWire(key, t)
 	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	enc, ok := n.conns[dst]
-	if !ok {
-		addr, known := n.peers[dst]
-		if !known {
-			return fmt.Errorf("rendezvous: unknown worker %q", dst)
-		}
-		// Peers may come up in any order; retry briefly.
-		var conn net.Conn
-		var err error
-		for attempt := 0; attempt < 50; attempt++ {
-			conn, err = net.Dial("tcp", addr)
-			if err == nil {
-				break
-			}
-			time.Sleep(100 * time.Millisecond)
-		}
-		if err != nil {
-			return fmt.Errorf("rendezvous: dial %s: %w", dst, err)
-		}
-		n.raw[dst] = conn
-		enc = gob.NewEncoder(conn)
-		n.conns[dst] = enc
+	pc, err := n.peerFor(dst)
+	if err != nil {
+		return err
 	}
-	if err := enc.Encode(m); err != nil {
+	// Only this peer's lock is held across dial and encode: a stalled or
+	// down peer blocks its own senders, never sends to other peers, and
+	// never Close.
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.enc == nil {
+		if err := n.dialLocked(pc, dst, cancel); err != nil {
+			return err
+		}
+	}
+	err = pc.enc.Encode(m)
+	if err == nil {
+		return nil
+	}
+	// The encoder is broken (its stream state is unrecoverable): evict the
+	// connection and redial once — the peer may have restarted — before
+	// failing the step. This is a single dial attempt, not the boot-order
+	// retry loop: a step with a dead peer must fail promptly.
+	n.evictLocked(pc, dst)
+	if derr := n.redialLocked(pc, dst); derr != nil {
 		return fmt.Errorf("rendezvous: send to %s: %w", dst, err)
+	}
+	if err2 := pc.enc.Encode(m); err2 != nil {
+		n.evictLocked(pc, dst)
+		return fmt.Errorf("rendezvous: send to %s: %w", dst, err2)
 	}
 	return nil
 }
 
-// Recv waits for a token on the local table.
+// Recv waits for a token on the local table of the key's scope.
 func (n *Net) Recv(key string, cancel <-chan struct{}) (exec.Token, error) {
-	return n.local.Recv(key, cancel)
+	s, ok := n.scopeTable(scopeOf(key))
+	if !ok {
+		return exec.Token{}, fmt.Errorf("rendezvous: recv of %q: scope released", key)
+	}
+	return s.Recv(key, cancel)
 }
 
-// Abort fails pending operations.
-func (n *Net) Abort(err error) { n.local.Abort(err) }
+// Abort fails pending operations in every scope.
+func (n *Net) Abort(err error) {
+	n.mu.Lock()
+	scopes := make([]*Local, 0, len(n.scopes))
+	for _, s := range n.scopes {
+		scopes = append(scopes, s)
+	}
+	n.mu.Unlock()
+	for _, s := range scopes {
+		s.Abort(err)
+	}
+}
+
+// Scope returns the per-step view of the rendezvous used by executors: keys
+// gain the "<name>|" prefix (so they land in the scope's private table on
+// every worker), Abort fails only this scope, and a Send blocked in the
+// dial-retry loop is released when the scope aborts. Scope names must not
+// contain '|' or ';'.
+func (n *Net) Scope(name string) *NetScope {
+	return &NetScope{n: n, name: name}
+}
+
+// NetScope is one scope's view of a Net (an exec.Rendezvous).
+type NetScope struct {
+	n    *Net
+	name string
+}
+
+// Name returns the scope name.
+func (s *NetScope) Name() string { return s.name }
+
+// Send publishes under the scoped key; if the destination is remote and
+// down, the dial retry aborts as soon as the scope does.
+func (s *NetScope) Send(key string, t exec.Token) error {
+	local, ok := s.n.scopeTable(s.name)
+	if !ok {
+		return fmt.Errorf("rendezvous: send of %q: scope %q released", key, s.name)
+	}
+	return s.n.send(s.name+"|"+key, t, local.abort)
+}
+
+// Recv waits on the scope's table.
+func (s *NetScope) Recv(key string, cancel <-chan struct{}) (exec.Token, error) {
+	return s.n.Recv(s.name+"|"+key, cancel)
+}
+
+// Abort fails this scope's pending and future operations.
+func (s *NetScope) Abort(err error) { s.n.AbortScope(s.name, err) }
