@@ -11,7 +11,7 @@
 //	dcfbench -exp fig11 -workers 4 -fuse   # A/B the executor knobs
 //
 // Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn,
-// ablations, serving, batchserve, tcpdist. The tcpdist experiment brings
+// ablations, serving, batchserve, tcpdist, chaos. The tcpdist experiment brings
 // worker daemons up on loopback TCP, registers a partitioned while-loop
 // through the multi-process cluster runtime (distrib.Dial/TCPCluster), and
 // sweeps steps/sec against worker count and injected one-way fabric
@@ -54,7 +54,7 @@ func main() {
 // run1 is main's body; returning the exit code (instead of calling os.Exit
 // inline) lets the deferred profile writers run on failure paths too.
 func run1() int {
-	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|batchserve|tcpdist|all)")
+	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|batchserve|tcpdist|chaos|all)")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0)*2, "top of the serving/batchserve experiments' goroutine sweep")
 	batch := flag.Int("batch", 32, "batchserve: max rows per micro-batch")
@@ -137,6 +137,13 @@ func run1() int {
 			return bench.BatchServe(bench.DefaultBatchServe(*quick, *concurrency, *batch, *delay), os.Stdout)
 		case "tcpdist":
 			return bench.TCPDist(bench.DefaultTCPDist(*quick), os.Stdout)
+		case "chaos":
+			dir, err := os.MkdirTemp("", "dcf-chaos-ck-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			return bench.Chaos(bench.DefaultChaos(*quick), dir, os.Stdout)
 		case "ablations":
 			res := map[string]float64{}
 			for _, n := range []int{16, 256} {
@@ -165,7 +172,7 @@ func run1() int {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving", "batchserve", "tcpdist"}
+		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving", "batchserve", "tcpdist", "chaos"}
 	}
 	report := bench.NewReport(*quick, runtime.GOMAXPROCS(0))
 	for _, id := range ids {

@@ -62,6 +62,39 @@
 // `cmd/dcfbench -exp tcpdist` for the steps/sec sweep against worker
 // count and injected fabric latency.
 //
+// # Fault tolerance
+//
+// Recovery follows the paper's §3 coarse-grained model: an iterative job
+// runs between distributed checkpoints of its session variables, and every
+// failure — a crashed daemon, a torn connection, an aborted step — is
+// handled the same way: roll back to the last checkpoint, rebuild over the
+// workers that are alive now, restore, and replay. There is no
+// fine-grained recovery inside a step.
+//
+//   - Checkpoints: TCPCluster.Checkpoint quiesces the cluster at a step
+//     boundary, collects each worker's variable shard over the control
+//     plane, and writes shards + a manifest durably (temp-file + rename;
+//     LATEST flips only after everything below it is complete). A
+//     CheckpointEvery policy on the cluster takes one automatically every
+//     n-th step. Format and layout: internal/checkpoint/README.md.
+//   - Resume: Fleet.Resume re-registers the graph (fresh partitioning over
+//     the live workers), re-maps shards to their new hosts by variable
+//     name, restores, and positions the step counter — a killed driver or
+//     daemon plus a restart yields fetches bit-identical to an
+//     uninterrupted run (worker RNG streams are a pure function of the
+//     step number, so replayed steps redraw the same randomness).
+//   - Elastic membership: a Fleet learns joins and leaves (Add/Remove,
+//     liveness probes). distrib.RunJob drives a JobSpec — a graph built as
+//     a function of the live worker set — absorbing membership changes at
+//     checkpoint boundaries and rolling back on step failures under a
+//     bounded retry budget, so a dead daemon's shards are reassigned to
+//     survivors instead of failing the job.
+//
+// The chaos CI job exercises the whole stack: a 1000-step two-daemon run
+// with one daemon kill -9'd and restarted mid-run must produce exactly the
+// fetch sequence of an undisturbed run. `cmd/dcfbench -exp chaos` measures
+// the same scenario's recovery latency (steps/sec before, during, after).
+//
 // # Runtime performance knobs
 //
 // The executor hot path (internal/exec, see its README.md) is dense-indexed

@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// A cluster checkpoint is a directory tree:
+//
+//	<dir>/
+//	  LATEST                 -> "step-<n>" (atomically updated last)
+//	  step-<n>/
+//	    MANIFEST.json        -> Manifest (written after every shard)
+//	    shard-<worker>.ckpt  -> framed Encode() of that worker's variables
+//
+// Write order makes the checkpoint atomic as a whole: shards first, then
+// the manifest that indexes them, then LATEST. A crash mid-checkpoint
+// leaves LATEST pointing at the previous complete checkpoint; the previous
+// step directory is only pruned after the new LATEST is durable.
+
+// Manifest indexes one complete distributed checkpoint: which step it
+// captured, the signature of the graph's restorable state (see GraphSig),
+// and which worker contributed which variables.
+type Manifest struct {
+	// Sig is the graph signature (GraphSig over the variable names the
+	// graph declares). Resume refuses a manifest whose signature does not
+	// match the graph being resumed.
+	Sig uint64 `json:"sig"`
+	// Step is the last step whose effects the checkpoint contains.
+	Step uint64 `json:"step"`
+	// Shards lists the per-worker shard files, sorted by worker.
+	Shards []Shard `json:"shards"`
+}
+
+// Shard is one worker's contribution to a checkpoint.
+type Shard struct {
+	Worker string `json:"worker"`
+	// File is the shard's filename, relative to the manifest's directory.
+	File string `json:"file"`
+	// Vars names the variables stored in the shard, sorted.
+	Vars []string `json:"vars"`
+}
+
+// GraphSig hashes the set of variable names a graph declares — the
+// contract between a checkpoint and the graphs that may resume from it.
+// It deliberately ignores placement, partitioning, and worker names:
+// resuming on a different worker set (shards re-mapped) is exactly the
+// point of the manifest layer.
+func GraphSig(varNames []string) uint64 {
+	names := append([]string(nil), varNames...)
+	sort.Strings(names)
+	// FNV-1a over the sorted names, newline-delimited.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, n := range names {
+		for i := 0; i < len(n); i++ {
+			h = (h ^ uint64(n[i])) * prime64
+		}
+		h = (h ^ '\n') * prime64
+	}
+	return h
+}
+
+func stepDirName(step uint64) string { return "step-" + strconv.FormatUint(step, 10) }
+
+// WriteShard durably writes one worker's variables for a step and returns
+// the shard entry for the manifest.
+func WriteShard(dir string, step uint64, worker string, vars map[string]*tensor.Tensor) (Shard, error) {
+	sd := filepath.Join(dir, stepDirName(step))
+	if err := os.MkdirAll(sd, 0o755); err != nil {
+		return Shard{}, err
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, vars); err != nil {
+		return Shard{}, err
+	}
+	file := "shard-" + worker + ".ckpt"
+	if err := WriteFileAtomic(filepath.Join(sd, file), buf.Bytes()); err != nil {
+		return Shard{}, err
+	}
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return Shard{Worker: worker, File: file, Vars: names}, nil
+}
+
+// WriteManifest publishes a checkpoint: the manifest goes into its step
+// directory, then LATEST flips to it, then older step directories are
+// pruned — keeping the immediately previous checkpoint so there are always
+// two complete recovery points on disk.
+func WriteManifest(dir string, m *Manifest) error {
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Worker < m.Shards[j].Worker })
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	sd := filepath.Join(dir, stepDirName(m.Step))
+	if err := os.MkdirAll(sd, 0o755); err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(filepath.Join(sd, "MANIFEST.json"), data); err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "LATEST"), []byte(stepDirName(m.Step))); err != nil {
+		return err
+	}
+	return pruneSteps(dir, m.Step)
+}
+
+// pruneSteps removes step directories older than the one immediately
+// preceding current (LATEST and its predecessor survive).
+func pruneSteps(dir string, current uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var steps []uint64
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "step-") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimPrefix(e.Name(), "step-"), 10, 64)
+		if err != nil || n >= current {
+			continue
+		}
+		steps = append(steps, n)
+	}
+	if len(steps) <= 1 {
+		return nil
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] > steps[j] })
+	for _, n := range steps[1:] {
+		if err := os.RemoveAll(filepath.Join(dir, stepDirName(n))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Latest loads the newest complete checkpoint's manifest and the directory
+// holding its shards. A directory with no checkpoint yet returns
+// os.ErrNotExist (callers distinguish "fresh start" from real failures).
+func Latest(dir string) (*Manifest, string, error) {
+	ptr, err := os.ReadFile(filepath.Join(dir, "LATEST"))
+	if err != nil {
+		return nil, "", err
+	}
+	sd := filepath.Join(dir, strings.TrimSpace(string(ptr)))
+	data, err := os.ReadFile(filepath.Join(sd, "MANIFEST.json"))
+	if err != nil {
+		return nil, "", fmt.Errorf("checkpoint: LATEST points at %s but its manifest is unreadable: %w", sd, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, "", fmt.Errorf("checkpoint: manifest %s: %w", sd, err)
+	}
+	return &m, sd, nil
+}
+
+// ReadShard loads one shard file from a checkpoint directory.
+func ReadShard(stepDir string, s Shard) (map[string]*tensor.Tensor, error) {
+	f, err := os.Open(filepath.Join(stepDir, s.File))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: shard %s (worker %s): %w", s.File, s.Worker, err)
+	}
+	defer f.Close()
+	vars, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: shard %s (worker %s): %w", s.File, s.Worker, err)
+	}
+	return vars, nil
+}
+
+// LoadState loads every shard of a checkpoint into one variable map,
+// rejecting a variable that appears in two shards (each variable has
+// exactly one owning worker at capture time).
+func LoadState(stepDir string, m *Manifest) (map[string]*tensor.Tensor, error) {
+	state := map[string]*tensor.Tensor{}
+	owner := map[string]string{}
+	for _, s := range m.Shards {
+		vars, err := ReadShard(stepDir, s)
+		if err != nil {
+			return nil, err
+		}
+		for name, val := range vars {
+			if prev, dup := owner[name]; dup {
+				return nil, fmt.Errorf("checkpoint: variable %q appears in shards of both %s and %s", name, prev, s.Worker)
+			}
+			owner[name] = s.Worker
+			state[name] = val
+		}
+	}
+	return state, nil
+}

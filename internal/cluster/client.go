@@ -26,11 +26,13 @@ type Client struct {
 	pmu     sync.Mutex
 	pending map[stepKey]chan *StepResp
 	regCh   chan *RegResp
+	ckptCh  chan *CheckpointResp
+	restCh  chan *RestoreResp
 	helloCh chan *HelloResp
 	err     error
 	done    chan struct{}
 
-	regMu sync.Mutex // one registration round trip at a time
+	rpcMu sync.Mutex // one synchronous round trip (register/checkpoint/restore) at a time
 	wg    sync.WaitGroup
 }
 
@@ -45,7 +47,14 @@ const helloTimeout = 10 * time.Second
 // DialWorker connects to a worker daemon's control address and performs the
 // hello handshake, learning the worker's name and data-plane address.
 func DialWorker(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, helloTimeout)
+	return DialWorkerTimeout(addr, helloTimeout)
+}
+
+// DialWorkerTimeout is DialWorker with a caller-chosen connect/handshake
+// bound. Liveness probes use a short timeout so checking a dead daemon does
+// not stall recovery for the full default handshake window.
+func DialWorkerTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial worker %s: %w", addr, err)
 	}
@@ -73,7 +82,7 @@ func DialWorker(addr string) (*Client, error) {
 		c.pmu.Unlock()
 	case <-c.done:
 		return nil, fmt.Errorf("cluster: hello to %s: %w", addr, c.Err())
-	case <-time.After(helloTimeout):
+	case <-time.After(timeout):
 		c.Close()
 		return nil, fmt.Errorf("cluster: hello to %s timed out", addr)
 	}
@@ -148,6 +157,10 @@ func (c *Client) fail(err error) {
 	c.pending = map[stepKey]chan *StepResp{}
 	reg := c.regCh
 	c.regCh = nil
+	ckpt := c.ckptCh
+	c.ckptCh = nil
+	rest := c.restCh
+	c.restCh = nil
 	close(c.done)
 	c.pmu.Unlock()
 	for k, ch := range pending {
@@ -155,6 +168,12 @@ func (c *Client) fail(err error) {
 	}
 	if reg != nil {
 		reg <- &RegResp{Err: err.Error()}
+	}
+	if ckpt != nil {
+		ckpt <- &CheckpointResp{Err: err.Error()}
+	}
+	if rest != nil {
+		rest <- &RestoreResp{Err: err.Error()}
 	}
 }
 
@@ -182,6 +201,22 @@ func (c *Client) readLoop() {
 			if ch != nil {
 				ch <- env.Reg
 			}
+		case env.Ckpt != nil:
+			c.pmu.Lock()
+			ch := c.ckptCh
+			c.ckptCh = nil
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- env.Ckpt
+			}
+		case env.Restore != nil:
+			c.pmu.Lock()
+			ch := c.restCh
+			c.restCh = nil
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- env.Restore
+			}
 		case env.Step != nil:
 			k := stepKey{gid: env.Step.GraphID, step: env.Step.Step}
 			c.pmu.Lock()
@@ -197,8 +232,8 @@ func (c *Client) readLoop() {
 
 // Register installs a graph on the worker and waits for its ack.
 func (c *Client) Register(rg *RegisterGraph) error {
-	c.regMu.Lock()
-	defer c.regMu.Unlock()
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
 	ch := make(chan *RegResp, 1)
 	c.pmu.Lock()
 	if c.err != nil {
@@ -214,6 +249,55 @@ func (c *Client) Register(rg *RegisterGraph) error {
 	resp := <-ch
 	if resp.Err != "" {
 		return fmt.Errorf("cluster: register on %s: %s", c.workerLabel(), resp.Err)
+	}
+	return nil
+}
+
+// Checkpoint asks the worker for its shard of a distributed checkpoint at
+// the given (quiesced) step boundary: a snapshot of every session variable
+// the graph holds on this worker.
+func (c *Client) Checkpoint(gid, step uint64) ([]VarSnapshot, error) {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	ch := make(chan *CheckpointResp, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.ckptCh = ch
+	c.pmu.Unlock()
+	if err := c.write(&Envelope{Ckpt: &CheckpointReq{GraphID: gid, Step: step}}); err != nil {
+		return nil, err
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: checkpoint on %s: %s", c.workerLabel(), resp.Err)
+	}
+	return resp.Vars, nil
+}
+
+// Restore installs variable values into the graph's session container on
+// the worker (resume-from-checkpoint, or seeding initial state).
+func (c *Client) Restore(gid uint64, vars []VarSnapshot) error {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	ch := make(chan *RestoreResp, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return err
+	}
+	c.restCh = ch
+	c.pmu.Unlock()
+	if err := c.write(&Envelope{Restore: &RestoreReq{GraphID: gid, Vars: vars}}); err != nil {
+		return err
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return fmt.Errorf("cluster: restore on %s: %s", c.workerLabel(), resp.Err)
 	}
 	return nil
 }

@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeHealth: the readiness probe answers 200 with the worker's name
+// while the daemon is up, refuses a second health listener, and stops
+// answering once the daemon closes.
+func TestServeHealth(t *testing.T) {
+	w, err := NewWorker("wH", "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	addr, err := w.ServeHealth("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe status %d, want 200 (body %q)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "ok wH") {
+		t.Fatalf("probe body %q does not identify the worker", body)
+	}
+
+	if _, err := w.ServeHealth("127.0.0.1:0"); err == nil {
+		t.Fatal("second ServeHealth succeeded; want refusal")
+	}
+
+	w.Close()
+	if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("probe answered 200 after Close (body %q)", body)
+		}
+	}
+}

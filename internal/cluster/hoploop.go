@@ -15,6 +15,24 @@ import (
 // on any step means tokens leaked across steps or hops were lost. With a
 // single worker the body increments locally (no hops) so the loop still
 // terminates.
+// BuildCounterJob is the stateful variant of BuildHopLoop used by the
+// fault-tolerance tests and the chaos CI job: the hop loop's result (== the
+// fed limit) is accumulated into a session variable "acc" on workers[0],
+// and the accumulator's new value is the job's single fetch. After step k
+// of a run fed limit L every step, the fetch is k*L — a value that encodes
+// the entire step history, so a resumed or replayed run is checkable
+// bit-for-bit against an undisturbed one. The "acc" variable must be
+// seeded (e.g. distrib.JobSpec.Init) before the first step: AssignAdd
+// refuses uninitialized variables by design.
+func BuildCounterJob(workers []string) (*core.Builder, []graph.Output) {
+	b, outs := BuildHopLoop(workers)
+	var fetch graph.Output
+	b.WithDevice(workers[0]+"/cpu", func() {
+		fetch = b.OpNode("AssignAdd", "acc_add", map[string]any{"var": "acc"}, outs[0]).Out(0)
+	})
+	return b, []graph.Output{fetch}
+}
+
 func BuildHopLoop(workers []string) (*core.Builder, []graph.Output) {
 	b := core.NewBuilder()
 	var outs []graph.Output

@@ -88,6 +88,50 @@ type ReleaseReq struct {
 	GraphID uint64
 }
 
+// VarSnapshot is one session variable in transportable form — the unit of
+// the checkpoint/restore protocol.
+type VarSnapshot struct {
+	Name string
+	T    *WireTensor
+}
+
+// CheckpointReq asks the worker for a snapshot of every session variable
+// the registered graph holds. The driver only sends it when the step
+// window is quiesced (no steps in flight anywhere in the cluster), so the
+// snapshot is a consistent cut at a step boundary — the paper's §3
+// coarse-grained model. The worker refuses the request if it still has
+// steps of the graph in flight (a protocol violation, not a race to
+// tolerate silently).
+type CheckpointReq struct {
+	GraphID uint64
+	// Step is the step boundary being captured; echoed in the response
+	// and recorded by the driver in the checkpoint manifest.
+	Step uint64
+}
+
+// CheckpointResp carries the worker's variable shard (sorted by name).
+type CheckpointResp struct {
+	GraphID uint64
+	Step    uint64
+	Vars    []VarSnapshot
+	Err     string
+}
+
+// RestoreReq installs variable values into the registered graph's session
+// container — the second half of resume-from-checkpoint, and also how a
+// driver seeds initial variable values. Like CheckpointReq it is only
+// legal while the graph is quiesced.
+type RestoreReq struct {
+	GraphID uint64
+	Vars    []VarSnapshot
+}
+
+// RestoreResp acknowledges a restore.
+type RestoreResp struct {
+	GraphID uint64
+	Err     string
+}
+
 // Envelope is one driver -> worker request.
 type Envelope struct {
 	Hello   *HelloReq
@@ -95,13 +139,17 @@ type Envelope struct {
 	Step    *StepReq
 	Abort   *AbortReq
 	Release *ReleaseReq
+	Ckpt    *CheckpointReq
+	Restore *RestoreReq
 }
 
 // RespEnvelope is one worker -> driver response.
 type RespEnvelope struct {
-	Hello *HelloResp
-	Reg   *RegResp
-	Step  *StepResp
+	Hello   *HelloResp
+	Reg     *RegResp
+	Step    *StepResp
+	Ckpt    *CheckpointResp
+	Restore *RestoreResp
 }
 
 // ScopeName is the rendezvous scope of one (graph, step): the per-step

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/graph"
@@ -379,6 +380,57 @@ func BuildGraph(nodes []WireNode) (*graph.Graph, map[string]*graph.Node, error) 
 		f.node.AddControlInput(src)
 	}
 	return g, byName, nil
+}
+
+// SnapshotsToWire converts a captured variable map into wire snapshots,
+// sorted by name so shards serialize deterministically.
+func SnapshotsToWire(vars map[string]*tensor.Tensor) []VarSnapshot {
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]VarSnapshot, len(names))
+	for i, n := range names {
+		out[i] = VarSnapshot{Name: n, T: TensorToWire(vars[n])}
+	}
+	return out
+}
+
+// SnapshotsFromWire rebuilds a variable map from wire snapshots.
+func SnapshotsFromWire(snaps []VarSnapshot) (map[string]*tensor.Tensor, error) {
+	out := make(map[string]*tensor.Tensor, len(snaps))
+	for _, s := range snaps {
+		t, err := TensorFromWire(s.T)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: variable %q: %w", s.Name, err)
+		}
+		if t == nil {
+			return nil, fmt.Errorf("cluster: variable %q has no value", s.Name)
+		}
+		out[s.Name] = t
+	}
+	return out, nil
+}
+
+// HostedVars returns the sorted set of session-variable names a wire node
+// set touches (the "var" attribute of VarRead/Assign/AssignAdd/... ops) —
+// how the driver routes checkpoint shards to the workers that own them.
+func HostedVars(nodes []WireNode) []string {
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		for _, a := range n.Attrs {
+			if a.Key == "var" && a.Kind == attrString && !seen[a.S] {
+				seen[a.S] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // FeedsToWire converts a feed map for transport.

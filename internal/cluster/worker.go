@@ -5,9 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/ops"
@@ -27,11 +29,12 @@ type Worker struct {
 	ctrl net.Listener
 	rv   *rendezvous.Net
 
-	mu     sync.Mutex
-	graphs map[uint64]*workerGraph
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	graphs    map[uint64]*workerGraph
+	conns     map[net.Conn]struct{}
+	healthSrv *http.Server
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // workerGraph is one cached registration: the rebuilt graph, one compiled
@@ -94,6 +97,50 @@ func (w *Worker) DataAddr() string { return w.rv.Addr() }
 // ScopeCount exposes the live rendezvous scope tables (leak tests).
 func (w *Worker) ScopeCount() int { return w.rv.ScopeCount() }
 
+// ServeHealth starts an HTTP readiness endpoint on addr and returns the
+// address it actually listens on ("127.0.0.1:0" picks a port). GET
+// /healthz answers 200 with the worker's name, registered-graph count, and
+// live scope count once the daemon is accepting work — chaos scripts and
+// CI poll it instead of sleeping blind. The endpoint dies with the worker.
+func (w *Worker) ServeHealth(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: health listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		w.mu.Lock()
+		closed := w.closed
+		graphs := len(w.graphs)
+		w.mu.Unlock()
+		if closed {
+			http.Error(rw, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(rw, "ok %s graphs=%d scopes=%d\n", w.name, graphs, w.rv.ScopeCount())
+	})
+	srv := &http.Server{Handler: mux}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("cluster: worker %s closed", w.name)
+	}
+	if w.healthSrv != nil {
+		w.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("cluster: worker %s already serves health", w.name)
+	}
+	w.healthSrv = srv
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
 // Close shuts the daemon down: control conns, in-flight steps, data plane.
 func (w *Worker) Close() {
 	w.mu.Lock()
@@ -109,7 +156,11 @@ func (w *Worker) Close() {
 	for gid, g := range w.graphs {
 		graphs[gid] = g
 	}
+	health := w.healthSrv
 	w.mu.Unlock()
+	if health != nil {
+		health.Close()
+	}
 	w.ctrl.Close()
 	for gid, g := range graphs {
 		w.abortGraphSteps(gid, g, fmt.Errorf("cluster: worker %s closed", w.name))
@@ -272,10 +323,78 @@ func (w *Worker) handleConn(conn net.Conn) {
 			if cancel != nil {
 				cancel()
 			}
+		case env.Ckpt != nil:
+			if debugCluster {
+				fmt.Printf("[%s] checkpoint req g%d s%d\n", w.name, env.Ckpt.GraphID, env.Ckpt.Step)
+			}
+			send(&RespEnvelope{Ckpt: w.checkpointGraph(env.Ckpt)})
+		case env.Restore != nil:
+			if debugCluster {
+				fmt.Printf("[%s] restore req g%d (%d vars)\n", w.name, env.Restore.GraphID, len(env.Restore.Vars))
+			}
+			send(&RespEnvelope{Restore: w.restoreGraph(env.Restore)})
 		case env.Release != nil:
 			w.releaseGraph(env.Release.GraphID, fmt.Errorf("cluster: graph released"))
 		}
 	}
+}
+
+// quiescedGraph looks a graph up and verifies no steps are in flight — the
+// precondition of both checkpoint and restore. The driver guarantees it by
+// quiescing the step window first; a violation is reported, not tolerated,
+// because a snapshot raced by a step would be silently inconsistent.
+func (w *Worker) quiescedGraph(gid uint64, op string) (*workerGraph, error) {
+	w.mu.Lock()
+	g := w.graphs[gid]
+	w.mu.Unlock()
+	if g == nil {
+		return nil, fmt.Errorf("cluster: worker %s: graph %d not registered", w.name, gid)
+	}
+	g.mu.Lock()
+	inflight := len(g.steps)
+	g.mu.Unlock()
+	if inflight > 0 {
+		return nil, fmt.Errorf("cluster: worker %s: %s with %d steps in flight", w.name, op, inflight)
+	}
+	return g, nil
+}
+
+// checkpointGraph snapshots the graph's session variables — this worker's
+// shard of a distributed checkpoint.
+func (w *Worker) checkpointGraph(req *CheckpointReq) *CheckpointResp {
+	resp := &CheckpointResp{GraphID: req.GraphID, Step: req.Step}
+	g, err := w.quiescedGraph(req.GraphID, "checkpoint")
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	vars, err := checkpoint.Capture(g.sessRes)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Vars = SnapshotsToWire(vars)
+	return resp
+}
+
+// restoreGraph installs variable values into the graph's session container
+// (resume-from-checkpoint, or seeding a fresh job's initial state).
+func (w *Worker) restoreGraph(req *RestoreReq) *RestoreResp {
+	resp := &RestoreResp{GraphID: req.GraphID}
+	g, err := w.quiescedGraph(req.GraphID, "restore")
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	vars, err := SnapshotsFromWire(req.Vars)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	if err := checkpoint.Apply(vars, g.sessRes); err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
 }
 
 // register rebuilds the graph, compiles one plan per hosted device, and
@@ -336,6 +455,13 @@ func (w *Worker) register(rg *RegisterGraph, owner net.Conn) error {
 	}
 	w.mu.Lock()
 	old := w.graphs[rg.GraphID]
+	if old != nil {
+		// Re-registration of the same graph id is the same session: the
+		// driver re-registers every participant when any one of them
+		// reconnects, and a surviving worker's variables must outlive
+		// that — only a worker restart loses session state (§3).
+		wg.sessRes = old.sessRes
+	}
 	w.graphs[rg.GraphID] = wg
 	w.mu.Unlock()
 	if old != nil {
@@ -427,7 +553,12 @@ func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *Ste
 				Feeds:              feeds,
 				StepRes:            stepRes,
 				SessionRes:         g.sessRes,
-				RNG:                tensor.NewRNG(req.Step*1000003 + req.GraphID*7 + 17),
+				// The RNG stream is a pure function of the step number —
+				// deliberately independent of GraphID, which changes when a
+				// resumed or rebuilt job re-registers. A job replayed from a
+				// checkpoint therefore draws identical random numbers and
+				// reproduces an uninterrupted run bit for bit.
+				RNG: tensor.NewRNG(req.Step*1000003 + 17),
 				Rendezvous:         rv,
 				ParallelIterations: g.parallel,
 				Workers:            g.workers,

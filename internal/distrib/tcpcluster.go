@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -26,6 +27,9 @@ type Fleet struct {
 	workers map[string]*fleetWorker
 	closed  bool
 	nextGID uint64
+	// generation counts explicit membership changes (Add/Remove). Job
+	// runners compare it across checkpoint boundaries to absorb joins.
+	generation uint64
 }
 
 // fleetWorker is one daemon's slot in the fleet. Redials happen under the
@@ -182,6 +186,15 @@ type TCPOptions struct {
 	// worker's rendezvous deliveries (benchmark sweeps on loopback).
 	Latency   time.Duration
 	Bandwidth float64
+	// CheckpointDir, when set, is where distributed checkpoints of this
+	// cluster's session variables are written (see internal/checkpoint's
+	// manifest layout). Required for Checkpoint/Resume.
+	CheckpointDir string
+	// CheckpointEvery, when > 0, checkpoints automatically after every
+	// n-th step: RunCtx quiesces the cluster at that step boundary and
+	// captures every worker's variable shard before returning. Requires
+	// CheckpointDir.
+	CheckpointEvery uint64
 }
 
 // DeviceWorker is the default TCPOptions.WorkerOf.
@@ -222,6 +235,18 @@ type TCPCluster struct {
 	outstanding map[uint64]bool
 	released    uint64 // all steps <= released completed cluster-wide
 	closed      bool
+
+	// ckptGate quiesces the cluster at step boundaries: every step holds
+	// the read side for its whole duration, and Checkpoint/RestoreState
+	// take the write side — so a checkpoint is a consistent cut with no
+	// step in flight anywhere (the paper's §3 coarse-grained model).
+	// sync.RWMutex's writer preference guarantees the checkpoint makes
+	// progress under a continuous stream of steps.
+	ckptGate sync.RWMutex
+	// sig is the GraphSig over every session variable the graph declares;
+	// hosted routes variable names to the worker whose partition owns them.
+	sig    uint64
+	hosted map[string][]string
 }
 
 // NewCluster prunes the builder's graph to the fetches/targets, partitions
@@ -323,6 +348,18 @@ func (f *Fleet) NewCluster(b *core.Builder, fetches []graph.Output, targets []*g
 			Bandwidth:          opts.Bandwidth,
 		}
 	}
+	// Map each worker's session variables (nodes carrying a "var" attr in
+	// its partition) for checkpoint sharding, and hash the full variable
+	// set into the graph signature checkpoints are keyed by.
+	c.hosted = map[string][]string{}
+	var allVars []string
+	for _, w := range workerOrder {
+		if vs := cluster.HostedVars(c.regs[w].Nodes); len(vs) > 0 {
+			c.hosted[w] = vs
+			allVars = append(allVars, vs...)
+		}
+	}
+	c.sig = checkpoint.GraphSig(allVars)
 	if err := c.registerAll(); err != nil {
 		return nil, err
 	}
@@ -370,11 +407,35 @@ func (c *TCPCluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, err
 // in caller order. Cancellation (or the first worker failure) is fanned out
 // as an abort so every partition's blocked Recvs drain; the step fails with
 // a wrapped error and the cluster remains usable for the next step.
+//
+// With CheckpointEvery set, every n-th step is a checkpoint boundary: after
+// the step's values are in, RunCtx quiesces the cluster and captures a
+// distributed checkpoint before returning. A checkpoint failure fails the
+// step (the values are discarded) — callers recover the same way they would
+// from a step failure.
 func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	out, step, err := c.runStep(ctx, feeds)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.CheckpointEvery > 0 && step%c.opts.CheckpointEvery == 0 {
+		if _, err := c.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("distrib: step %d: auto-checkpoint: %w", step, err)
+		}
+	}
+	return out, nil
+}
+
+// runStep is RunCtx without the checkpoint policy; it holds the read side
+// of ckptGate for its entire duration so checkpoints only ever observe
+// step boundaries.
+func (c *TCPCluster) runStep(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, uint64, error) {
+	c.ckptGate.RLock()
+	defer c.ckptGate.RUnlock()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("distrib: cluster closed")
+		return nil, 0, fmt.Errorf("distrib: cluster closed")
 	}
 	c.step++
 	step := c.step
@@ -393,7 +454,7 @@ func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor
 		_, epoch, err := c.fleet.client(w)
 		if err != nil {
 			c.regMu.Unlock()
-			return nil, fmt.Errorf("distrib: step %d: %w", step, err)
+			return nil, step, fmt.Errorf("distrib: step %d: %w", step, err)
 		}
 		if epoch != c.registeredEpoch[w] {
 			reRegister = true
@@ -402,7 +463,7 @@ func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor
 	if reRegister {
 		if err := c.registerAll(); err != nil {
 			c.regMu.Unlock()
-			return nil, fmt.Errorf("distrib: step %d: %w", step, err)
+			return nil, step, fmt.Errorf("distrib: step %d: %w", step, err)
 		}
 	}
 	c.regMu.Unlock()
@@ -424,7 +485,7 @@ func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor
 			for _, wc := range launched {
 				wc.cl.Abort(c.gid, step, err.Error())
 			}
-			return nil, fmt.Errorf("distrib: step %d: %w", step, err)
+			return nil, step, fmt.Errorf("distrib: step %d: %w", step, err)
 		}
 		ch := cl.StartStep(&cluster.StepReq{
 			GraphID:        c.gid,
@@ -474,11 +535,11 @@ func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor
 			// into the buffered agg channel (no leak), and the canceled
 			// step's scopes are reclaimed by the release watermark.
 			abortAll(context.Cause(ctx).Error())
-			return nil, fmt.Errorf("distrib: step %d canceled: %w", step, context.Cause(ctx))
+			return nil, step, fmt.Errorf("distrib: step %d canceled: %w", step, context.Cause(ctx))
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, step, firstErr
 	}
 
 	// Reassemble fetches in caller order.
@@ -486,19 +547,19 @@ func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor
 	for i := range c.fetches {
 		r := resps[c.fetchWorker[i]]
 		if r == nil {
-			return nil, fmt.Errorf("distrib: step %d: no response from worker %q for fetch %d", step, c.fetchWorker[i], i)
+			return nil, step, fmt.Errorf("distrib: step %d: no response from worker %q for fetch %d", step, c.fetchWorker[i], i)
 		}
 		if c.fetchSlot[i] >= len(r.Vals) {
-			return nil, fmt.Errorf("distrib: step %d: worker %q returned %d values, fetch %d needs slot %d",
+			return nil, step, fmt.Errorf("distrib: step %d: worker %q returned %d values, fetch %d needs slot %d",
 				step, c.fetchWorker[i], len(r.Vals), i, c.fetchSlot[i])
 		}
 		t, err := cluster.TensorFromWire(r.Vals[c.fetchSlot[i]])
 		if err != nil {
-			return nil, fmt.Errorf("distrib: fetch %d: %w", i, err)
+			return nil, step, fmt.Errorf("distrib: fetch %d: %w", i, err)
 		}
 		out[i] = t
 	}
-	return out, nil
+	return out, step, nil
 }
 
 // finishStep retires a step and advances the completed-through watermark
@@ -516,6 +577,138 @@ func (c *TCPCluster) finishStep(step uint64) {
 	if min-1 > c.released {
 		c.released = min - 1
 	}
+}
+
+// Sig returns the graph signature (GraphSig over the session variables the
+// graph declares) that this cluster's checkpoints are keyed by.
+func (c *TCPCluster) Sig() uint64 { return c.sig }
+
+// Step returns the last step number handed out.
+func (c *TCPCluster) Step() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// SetStep positions the step counter (resume-from-checkpoint): the next
+// RunCtx executes step n+1. The release watermark moves with it so the
+// first resumed step does not ask workers to release steps that never ran
+// under this graph id.
+func (c *TCPCluster) SetStep(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.step = n
+	c.released = n
+}
+
+// checkVarOwnership rejects a graph in which the same session variable is
+// hosted by two workers: each worker holds an independent container, so
+// such "shared" variables are silently divergent copies — checkpointing
+// them would record two contradictory values under one name.
+func (c *TCPCluster) checkVarOwnership() error {
+	owner := map[string]string{}
+	for _, w := range c.workers {
+		for _, v := range c.hosted[w] {
+			if prev, dup := owner[v]; dup {
+				return fmt.Errorf("distrib: variable %q is hosted by both %q and %q — one variable, one owning worker", v, prev, w)
+			}
+			owner[v] = w
+		}
+	}
+	return nil
+}
+
+// Checkpoint quiesces the cluster at the current step boundary and captures
+// a distributed checkpoint: every variable-hosting worker snapshots its
+// shard over the control plane, the driver writes the shards and then the
+// manifest (durably, in that order), and LATEST flips to the new step. It
+// returns the step the checkpoint captured. Concurrent RunCtx callers block
+// for the checkpoint's duration and then proceed.
+func (c *TCPCluster) Checkpoint() (uint64, error) {
+	if c.opts.CheckpointDir == "" {
+		return 0, fmt.Errorf("distrib: Checkpoint needs TCPOptions.CheckpointDir")
+	}
+	if err := c.checkVarOwnership(); err != nil {
+		return 0, err
+	}
+	c.ckptGate.Lock()
+	defer c.ckptGate.Unlock()
+	c.mu.Lock()
+	step := c.step
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, fmt.Errorf("distrib: cluster closed")
+	}
+	m := &checkpoint.Manifest{Sig: c.sig, Step: step}
+	for _, w := range c.workers {
+		if len(c.hosted[w]) == 0 {
+			continue
+		}
+		cl, _, err := c.fleet.client(w)
+		if err != nil {
+			return 0, fmt.Errorf("distrib: checkpoint step %d: %w", step, err)
+		}
+		snaps, err := cl.Checkpoint(c.gid, step)
+		if err != nil {
+			return 0, fmt.Errorf("distrib: checkpoint step %d: %w", step, err)
+		}
+		state, err := cluster.SnapshotsFromWire(snaps)
+		if err != nil {
+			return 0, fmt.Errorf("distrib: checkpoint step %d: worker %q: %w", step, w, err)
+		}
+		shard, err := checkpoint.WriteShard(c.opts.CheckpointDir, step, w, state)
+		if err != nil {
+			return 0, fmt.Errorf("distrib: checkpoint step %d: %w", step, err)
+		}
+		m.Shards = append(m.Shards, shard)
+	}
+	if err := checkpoint.WriteManifest(c.opts.CheckpointDir, m); err != nil {
+		return 0, fmt.Errorf("distrib: checkpoint step %d: %w", step, err)
+	}
+	return step, nil
+}
+
+// RestoreState installs variable values into the workers hosting them —
+// the push half of resume-from-checkpoint, also used to seed initial
+// variable values. Shards are re-mapped by variable name, so state captured
+// under one worker set restores onto another. A variable no worker hosts is
+// an error: the state and the graph disagree about what exists.
+func (c *TCPCluster) RestoreState(state map[string]*tensor.Tensor) error {
+	if len(state) == 0 {
+		return nil
+	}
+	if err := c.checkVarOwnership(); err != nil {
+		return err
+	}
+	c.ckptGate.Lock()
+	defer c.ckptGate.Unlock()
+	routed := map[string]bool{}
+	for _, w := range c.workers {
+		shard := map[string]*tensor.Tensor{}
+		for _, name := range c.hosted[w] {
+			if t, ok := state[name]; ok {
+				shard[name] = t
+				routed[name] = true
+			}
+		}
+		if len(shard) == 0 {
+			continue
+		}
+		cl, _, err := c.fleet.client(w)
+		if err != nil {
+			return fmt.Errorf("distrib: restore: %w", err)
+		}
+		if err := cl.Restore(c.gid, cluster.SnapshotsToWire(shard)); err != nil {
+			return fmt.Errorf("distrib: restore: %w", err)
+		}
+	}
+	for name := range state {
+		if !routed[name] {
+			return fmt.Errorf("distrib: restore: no worker hosts variable %q", name)
+		}
+	}
+	return nil
 }
 
 // Close releases the graph on every worker. The fleet stays open for other

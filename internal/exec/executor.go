@@ -509,8 +509,14 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 		events: make(chan []doneMsg, evBuf),
 		quit:   make(chan struct{}),
 	}
+	// ex.done stays nil when the step is uncancellable: either no context
+	// was supplied, or the context is Background/TODO (whose Done() is also
+	// nil). A nil channel never fires in the scheduler's select, so the
+	// uncancellable path costs nothing per event — it is a deliberate mode,
+	// not a missing feature: cluster steps are cancelled via Abort on the
+	// worker, which cancels the per-step context it derives itself.
 	if cfg.Ctx != nil {
-		ex.done = cfg.Ctx.Done() // nil for Background/TODO: no cancel path
+		ex.done = cfg.Ctx.Done()
 	}
 	ex.fetched = make([]Token, len(cfg.Fetches))
 	ex.fetchOK = make([]bool, len(cfg.Fetches))
