@@ -6,6 +6,7 @@ package repro
 // sweeps and prints the paper-style tables.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -171,7 +172,7 @@ func BenchmarkBatchServe(b *testing.B) {
 	cfg.OpenLoopSeconds = 0 // keep the benchmark's inner loop closed-form
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := bench.BatchServe(cfg, nil)
+		res, err := bench.BatchServe(context.Background(), cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -24,6 +24,7 @@
 // each request's wait for batch-mates:
 //
 //	dcfbench -exp batchserve -batch 32 -delay 1ms -concurrency 32
+//
 // The -cpuprofile/-memprofile flags write pprof profiles covering the
 // selected experiments, so perf work on the figures needs no code edits:
 // go tool pprof cpu.pprof.
@@ -37,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -132,9 +134,9 @@ func run1() int {
 		case "dqn":
 			return bench.DQN(bench.DefaultDQN(*quick), os.Stdout)
 		case "serving":
-			return bench.Serving(bench.DefaultServing(*quick, *concurrency), os.Stdout)
+			return bench.Serving(context.Background(), bench.DefaultServing(*quick, *concurrency), os.Stdout)
 		case "batchserve":
-			return bench.BatchServe(bench.DefaultBatchServe(*quick, *concurrency, *batch, *delay), os.Stdout)
+			return bench.BatchServe(context.Background(), bench.DefaultBatchServe(*quick, *concurrency, *batch, *delay), os.Stdout)
 		case "tcpdist":
 			return bench.TCPDist(bench.DefaultTCPDist(*quick), os.Stdout)
 		case "chaos":
@@ -143,7 +145,7 @@ func run1() int {
 				return nil, err
 			}
 			defer os.RemoveAll(dir)
-			return bench.Chaos(bench.DefaultChaos(*quick), dir, os.Stdout)
+			return bench.Chaos(context.Background(), bench.DefaultChaos(*quick), dir, os.Stdout)
 		case "ablations":
 			res := map[string]float64{}
 			for _, n := range []int{16, 256} {

@@ -6,6 +6,7 @@
 //	dcfgraph -model loop        # simple counting loop
 //	dcfgraph -model rnn -grad   # dynamic RNN with its gradient subgraph
 //	dcfgraph -model cond -dot   # conditional, DOT on stdout
+//	dcfgraph -model rnn -lint   # run the static verifier, exit 1 on findings
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/dcf"
 	"repro/internal/nn"
+	"repro/internal/verify"
 )
 
 func buildModel(model string, withGrad bool) (*dcf.Graph, error) {
@@ -67,12 +69,25 @@ func main() {
 	model := flag.String("model", "loop", "model to build (loop|cond|rnn)")
 	withGrad := flag.Bool("grad", false, "add the gradient subgraph")
 	dot := flag.Bool("dot", false, "print Graphviz DOT instead of stats")
+	lint := flag.Bool("lint", false, "run the static graph verifier and exit 1 on findings")
 	flag.Parse()
 
 	g, err := buildModel(*model, *withGrad)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *lint {
+		ds := verify.Check(g.Builder().G, verify.Options{Complete: true})
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+		if len(ds) > 0 {
+			fmt.Fprintf(os.Stderr, "dcfgraph: %d finding(s) in model %q\n", len(ds), *model)
+			os.Exit(1)
+		}
+		fmt.Printf("model %q (grad=%v): graph verifies clean\n", *model, *withGrad)
+		return
 	}
 	if *dot {
 		fmt.Print(g.Builder().G.DOT())

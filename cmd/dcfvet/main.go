@@ -1,0 +1,74 @@
+// Command dcfvet runs this repository's custom static analyzers (see
+// internal/analysis) over Go packages, printing findings in the familiar
+// file:line: message format and exiting 1 when any survive. It needs no
+// network and no dependencies beyond the Go toolchain: packages are
+// typechecked against the gc export data `go list -export` reports from
+// the build cache.
+//
+// Usage:
+//
+//	dcfvet [-only name[,name...]] [-list] [packages]
+//
+// With no package patterns, ./... is analyzed. Findings are suppressed per
+// line with "// dcfvet:allow <analyzer>=<reason>".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		selected = selected[:0]
+		for _, a := range all {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "dcfvet: unknown analyzer %q (see -list)\n", name)
+			}
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcfvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dcfvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

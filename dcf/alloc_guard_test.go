@@ -1,0 +1,35 @@
+package dcf_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/dcf"
+)
+
+// TestCallableCallAllocBudget pins the pre-compiled Call path's allocation
+// budget. Graph verification (internal/verify) runs once when the plan
+// compiles and is cached per graph version; if it — or anything else —
+// ever leaks onto the per-step path, this count moves and the test names
+// the regression long before a latency benchmark would.
+func TestCallableCallAllocBudget(t *testing.T) {
+	const budget = 66 // measured at the PR that added static verification
+
+	sess, y, x := buildServingGraph(t)
+	callable, err := sess.MakeCallable(dcf.CallableSpec{Feeds: []string{"x"}, Fetches: []dcf.Tensor{y}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := callable.Call(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := callable.Call(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("Callable.Call allocates %.1f/op, budget %d: something moved onto the per-step hot path", allocs, budget)
+	}
+}

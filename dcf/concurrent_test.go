@@ -140,7 +140,7 @@ func TestRunCtxCancelPromptAndLeakFree(t *testing.T) {
 		_, _, err := sess.RunCtx(ctx, dcf.RunOptions{Fetches: []dcf.Tensor{out}})
 		errc <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // dcfvet:allow testsleep=stage the step mid-flight before cancel
 	start := time.Now()
 	cancel()
 	select {

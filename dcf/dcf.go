@@ -46,11 +46,14 @@
 package dcf
 
 import (
+	"fmt"
+
 	"repro/internal/autodiff"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/optimize"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // Value is a concrete dense tensor (the data that flows at run time).
@@ -404,10 +407,19 @@ func (g *Graph) Optimize() (OptimizeStats, error) {
 func (g *Graph) OptimizeOpts(opts OptimizeOptions) (OptimizeStats, error) {
 	st, err := optimize.Optimize(g.b.G)
 	out := OptimizeStats{Folded: st.Folded, CSE: st.CSE}
-	if err != nil || !opts.Fuse {
+	if err == nil && opts.Fuse {
+		fs, ferr := optimize.FuseElementwise(g.b.G)
+		out.Fused = fs.Fused
+		err = ferr
+	}
+	if err != nil {
 		return out, err
 	}
-	fs, err := optimize.FuseElementwise(g.b.G)
-	out.Fused = fs.Fused
-	return out, err
+	// Post-pass assertion: an optimizer rewrite that breaks the graph
+	// (dangling port, broken frame, dtype clash) is a bug in the rewrite,
+	// best caught here rather than as a step-time hang.
+	if ds := verify.Check(g.b.G, verify.Options{Complete: true}); len(ds) != 0 {
+		return out, fmt.Errorf("dcf: graph invalid after optimization (optimizer bug): %w", ds.Err())
+	}
+	return out, nil
 }

@@ -138,7 +138,7 @@ func TestServerCancellation(t *testing.T) {
 		_, err := srv.Predict(ctx, Zeros(1, 4))
 		done <- err
 	}()
-	time.Sleep(3 * time.Millisecond) // riding a 30ms batch by now
+	time.Sleep(3 * time.Millisecond) // dcfvet:allow testsleep=riding a 30ms batch window by now
 	cancel()
 	select {
 	case err := <-done:

@@ -95,6 +95,29 @@
 // fetch sequence of an undisturbed run. `cmd/dcfbench -exp chaos` measures
 // the same scenario's recovery latency (steps/sec before, during, after).
 //
+// # Static verification
+//
+// Two layers of static checking run before any graph executes and in CI:
+//
+//   - Graph verification (internal/verify): a multi-error static analyzer
+//     over dataflow graphs — dtype/shape inference with unknown-dimension
+//     joins, control-flow structure (frame nesting, Switch/Merge typing,
+//     NextIteration back edges, reachable Exits), dead/unfetchable nodes,
+//     fetch/feed validity, and Send/Recv key pairing with a
+//     cross-partition rendezvous-cycle check. It runs once per graph
+//     version when a session compiles a plan (never per step), at worker
+//     graph registration (diagnostics travel back in the registration
+//     reply), after partitioning, and as a post-pass after graph
+//     optimization. `cmd/dcfgraph -lint` runs it from the command line.
+//     Details: internal/verify/README.md.
+//   - Code analysis (internal/analysis, cmd/dcfvet): custom analyzers that
+//     machine-check repository invariants — kernels claiming input buffers
+//     must declare Fresh outputs, gob-encoded wire/checkpoint types must
+//     survive the round trip, no bare time.Sleep synchronization in
+//     tests, exported entry points must thread context.Context, and no
+//     panic() in executor hot paths. CI runs dcfvet over ./... and
+//     self-tests it against a seeded-violation fixture module.
+//
 // # Runtime performance knobs
 //
 // The executor hot path (internal/exec, see its README.md) is dense-indexed

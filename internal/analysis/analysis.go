@@ -1,0 +1,157 @@
+// Package analysis is a self-contained static-analysis framework for this
+// repository: a loader that typechecks packages using the gc toolchain's
+// export data (no external dependencies), a small analyzer interface in
+// the spirit of go/analysis, and the custom analyzers behind cmd/dcfvet
+// that machine-check invariants which previously lived only in READMEs and
+// review memory (buffer-ownership Fresh marking, gob wire safety, test
+// hygiene, context threading, panic-free hot paths).
+//
+// Suppressing a finding: add a comment on the flagged line (or the line
+// directly above it) of the form
+//
+//	// dcfvet:allow <analyzer>=<reason>
+//
+// The reason is mandatory in spirit — a bare allow passes, but reviewers
+// should treat one as a smell.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) invocation context.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// findings (allow-annotated ones are dropped), sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	diags = filterAllowed(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// filterAllowed drops findings suppressed by a "dcfvet:allow <name>"
+// comment on the finding's line or the line above it.
+func filterAllowed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// allowed[file][line] = set of analyzer names allowed there.
+	allowed := map[string]map[int]map[string]bool{}
+	note := func(file string, line int, name string) {
+		if allowed[file] == nil {
+			allowed[file] = map[int]map[string]bool{}
+		}
+		if allowed[file][line] == nil {
+			allowed[file][line] = map[string]bool{}
+		}
+		allowed[file][line][name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "dcfvet:allow ") {
+						continue
+					}
+					spec := strings.TrimSpace(strings.TrimPrefix(text, "dcfvet:allow "))
+					name, _, _ := strings.Cut(spec, "=")
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					// The annotation covers its own line and the next:
+					// both trailing comments and line-above comments work.
+					note(pos.Filename, pos.Line, name)
+					note(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if allowed[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// isTestFile reports whether the file's position is in a _test.go file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// namedOrPointee unwraps pointers down to the element type.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// All returns every analyzer dcfvet ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FreshForward,
+		GobSafe,
+		TestSleep,
+		CtxThread,
+		PanicPath,
+	}
+}

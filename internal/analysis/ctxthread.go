@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxThread keeps cancellation plumbed through the public API. Two rules:
+//
+//  1. An exported function that takes a context.Context must actually use
+//     it — an ignored ctx parameter advertises cancellation the function
+//     does not deliver.
+//  2. An exported function that manufactures a context with
+//     context.Background()/context.TODO() must be the documented
+//     convenience shim: a sibling "<Name>Ctx" (same receiver) must exist
+//     for callers who need real cancellation. Otherwise the API forces
+//     every caller to lose cancellation.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc:  "exported entry points must thread context.Context (ctx params used; Background() only in shims with a <Name>Ctx sibling)",
+	Run:  runCtxThread,
+}
+
+func runCtxThread(pass *Pass) {
+	// Index exported function/method names per receiver type, to find
+	// "<Name>Ctx" siblings.
+	siblings := map[string]map[string]bool{} // receiver type name ("" = package func) -> name set
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			r := recvTypeName(fd)
+			if siblings[r] == nil {
+				siblings[r] = map[string]bool{}
+			}
+			siblings[r][fd.Name.Name] = true
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkCtxParamUsed(pass, fd)
+			checkBackgroundShim(pass, fd, siblings)
+		}
+	}
+}
+
+// checkCtxParamUsed flags a context.Context parameter that the body never
+// references.
+func checkCtxParamUsed(pass *Pass, fd *ast.FuncDecl) {
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "exported %s takes ctx but never uses it; thread it into blocking calls or drop the parameter", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// checkBackgroundShim flags context.Background()/TODO() calls in exported
+// functions that are not shims over a <Name>Ctx variant.
+func checkBackgroundShim(pass *Pass, fd *ast.FuncDecl, siblings map[string]map[string]bool) {
+	r := recvTypeName(fd)
+	if siblings[r][fd.Name.Name+"Ctx"] {
+		return // documented convenience shim pattern
+	}
+	// A function that accepts a ctx may use Background() as a nil-arg
+	// fallback; the caller's context still wins when provided.
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass, field.Type) {
+			return
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" {
+			pass.Reportf(call.Pos(), "exported %s calls context.%s with no %sCtx sibling; accept a ctx (or add %sCtx) so callers keep cancellation",
+				fd.Name.Name, sel.Sel.Name, fd.Name.Name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isContextType(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.Types[e].Type
+	if t == nil {
+		// Fall back to syntax when type info is incomplete.
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				return id.Name == "context"
+			}
+		}
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// FreshForward enforces the executor's buffer-ownership contract (see
+// internal/exec/README.md): a kernel that claims an input buffer through
+// KernelContext.ForwardableInput may only be installed in an OpDef that
+// sets Fresh: true. Fresh is what tells the executor the kernel's outputs
+// are exclusively owned, so the recycling pool may reclaim them; a
+// forwarding kernel without it silently disables forwarding, and — worse —
+// a future refactor that flips the default would alias a shared buffer.
+var FreshForward = &Analyzer{
+	Name: "freshforward",
+	Doc:  "OpDef literals whose Kernel (transitively) calls ForwardableInput must set Fresh: true",
+	Run:  runFreshForward,
+}
+
+func runFreshForward(pass *Pass) {
+	// Step 1: which package-level functions (transitively) call
+	// ForwardableInput? Seed with direct callers, then propagate over the
+	// package-local static call graph to a fixpoint.
+	forwards := map[string]bool{} // function name -> calls ForwardableInput
+	calls := map[string][]string{}
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			decls[fd.Name.Name] = fd
+			if callsForwardable(fd.Body) {
+				forwards[fd.Name.Name] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						calls[fd.Name.Name] = append(calls[fd.Name.Name], id.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if forwards[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if forwards[callee] {
+					forwards[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Step 2: every OpDef composite literal whose Kernel forwards must
+	// carry Fresh: true.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isOpDefLit(lit) {
+				return true
+			}
+			var kernelForwards bool
+			var fresh bool
+			var kernelPos ast.Node
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Fresh":
+					if id, ok := kv.Value.(*ast.Ident); ok && id.Name == "true" {
+						fresh = true
+					}
+				case "Kernel":
+					kernelPos = kv.Value
+					switch v := kv.Value.(type) {
+					case *ast.FuncLit:
+						kernelForwards = callsForwardable(v.Body) || callsAnyOf(v.Body, forwards)
+					case *ast.Ident:
+						kernelForwards = forwards[v.Name]
+					}
+				}
+			}
+			if kernelForwards && !fresh {
+				pos := lit.Pos()
+				if kernelPos != nil {
+					pos = kernelPos.Pos()
+				}
+				pass.Reportf(pos, "kernel calls ForwardableInput but its OpDef does not set Fresh: true; the executor will not grant buffer ownership (see internal/exec/README.md)")
+			}
+			return true
+		})
+	}
+}
+
+// callsForwardable reports a syntactic ".ForwardableInput(" call anywhere
+// under n. The method exists only on *ops.KernelContext, so a name match
+// is precise enough in practice and keeps the check type-load independent.
+func callsForwardable(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "ForwardableInput" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// callsAnyOf reports whether any function in set is called under n.
+func callsAnyOf(n ast.Node, set map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && set[id.Name] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOpDefLit matches OpDef{...} and ops.OpDef{...} composite literals.
+func isOpDefLit(lit *ast.CompositeLit) bool {
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		return t.Name == "OpDef"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "OpDef"
+	}
+	return false
+}

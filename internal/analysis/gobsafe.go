@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GobSafe vets every value passed to a gob Encode/Decode call: gob
+// *silently drops* unexported struct fields and errors at runtime on
+// chan/func fields, so a wire envelope or checkpoint payload that grows a
+// hazardous field ships corrupted state with no compile-time signal. The
+// walk is recursive through named types, struct fields, slices, arrays,
+// maps, and pointers; types that implement GobEncoder or BinaryMarshaler
+// opt out (they control their own encoding).
+var GobSafe = &Analyzer{
+	Name: "gobsafe",
+	Doc:  "types passed to gob Encode/Decode must survive the round trip: no unexported, chan, or func fields",
+	Run:  runGobSafe,
+}
+
+func runGobSafe(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Encode" && sel.Sel.Name != "Decode") {
+				return true
+			}
+			// The receiver must be a *gob.Encoder / *gob.Decoder.
+			recv := info.Types[sel.X].Type
+			if recv == nil || !isGobCodec(recv) {
+				return true
+			}
+			argType := info.Types[call.Args[0]].Type
+			if argType == nil {
+				return true
+			}
+			w := &gobWalker{seen: map[types.Type]bool{}}
+			w.walk(deref(argType), "")
+			for _, p := range w.problems {
+				pass.Reportf(call.Args[0].Pos(), "gob %s of %s: %s", sel.Sel.Name, types.TypeString(deref(argType), types.RelativeTo(pass.Pkg.Pkg)), p)
+			}
+			return true
+		})
+	}
+}
+
+func isGobCodec(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "encoding/gob" &&
+		(obj.Name() == "Encoder" || obj.Name() == "Decoder")
+}
+
+type gobWalker struct {
+	seen     map[types.Type]bool
+	problems []string
+}
+
+func (w *gobWalker) walk(t types.Type, path string) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	// Types that define their own encoding are opaque to gob's reflection.
+	if hasEncodingMethod(t) {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			fld := u.Field(i)
+			fpath := joinPath(path, fld.Name())
+			if !fld.Exported() {
+				w.problems = append(w.problems,
+					fmt.Sprintf("field %s is unexported; gob silently drops it (data loss on the wire)", fpath))
+				continue
+			}
+			w.walk(deref(fld.Type()), fpath)
+		}
+	case *types.Slice:
+		w.walk(deref(u.Elem()), path+"[]")
+	case *types.Array:
+		w.walk(deref(u.Elem()), path+"[]")
+	case *types.Map:
+		w.walk(deref(u.Key()), path+"{key}")
+		w.walk(deref(u.Elem()), path+"{val}")
+	case *types.Chan:
+		w.problems = append(w.problems, fmt.Sprintf("%s is a channel; gob cannot encode it", pathOr(path, "value")))
+	case *types.Signature:
+		w.problems = append(w.problems, fmt.Sprintf("%s is a func; gob cannot encode it", pathOr(path, "value")))
+	}
+}
+
+// hasEncodingMethod reports GobEncoder/GobDecoder or BinaryMarshaler/
+// BinaryUnmarshaler implementations (on T or *T).
+func hasEncodingMethod(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "GobDecode", "MarshalBinary", "UnmarshalBinary"} {
+		if m, _, _ := types.LookupFieldOrMethod(t, true, nil, name); m != nil {
+			if _, ok := m.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func joinPath(path, field string) string {
+	if path == "" {
+		return field
+	}
+	return path + "." + field
+}
+
+func pathOr(path, def string) string {
+	if path == "" {
+		return def
+	}
+	return path
+}

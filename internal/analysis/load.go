@@ -1,0 +1,161 @@
+// Package loading without golang.org/x/tools: `go list -export` names the
+// gc export data for every dependency in the build cache, and the stdlib
+// importer reads it, so full typechecking needs nothing beyond the
+// toolchain that built the code. Each module package becomes one analysis
+// unit containing its compiled files plus in-package tests; external test
+// packages (package foo_test) form a second unit whose import of the
+// package under test resolves to the test-variant export.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one typechecked analysis unit.
+type Package struct {
+	Path  string // import path ("repro/internal/exec", or "...:xtest")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors collects (non-fatal) typechecking problems; analyzers run
+	// regardless, on the theory that dcfvet executes after `go build`
+	// already proved the code compiles.
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath    string
+	Name          string
+	Dir           string
+	Export        string
+	GoFiles       []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	ForTest       string
+	Standard      bool
+	Incomplete    bool
+	DepOnly       bool
+	Module        *struct{ Path string }
+	InvalidGoFile string
+}
+
+// Load typechecks the packages matched by patterns (e.g. "./...") rooted
+// at dir, returning one Package per compilation unit (in-package tests are
+// merged into their package; external _test packages are separate units).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path (incl. variants) -> export file
+	var targets []listEntry        // module packages to analyze
+	seen := map[string]bool{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: parsing go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		// Analysis targets: plain (non-variant, non-.test-binary) packages
+		// of this module. go list -deps -test emits each of those once per
+		// role; dedupe by import path.
+		if e.Standard || e.ForTest != "" || strings.HasSuffix(e.ImportPath, ".test") ||
+			strings.Contains(e.ImportPath, " [") || e.Module == nil || seen[e.ImportPath] {
+			continue
+		}
+		seen[e.ImportPath] = true
+		targets = append(targets, e)
+	}
+
+	var pkgs []*Package
+	for _, e := range targets {
+		// Unit 1: compiled files + in-package tests.
+		files := append(append([]string{}, e.GoFiles...), e.TestGoFiles...)
+		if len(files) > 0 {
+			p, err := typecheckUnit(e.ImportPath, e.Dir, files, exports, "")
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+		// Unit 2: the external test package, if any. Its import of the
+		// package under test must see test-only symbols, which live in the
+		// test-variant export "<path> [<path>.test]".
+		if len(e.XTestGoFiles) > 0 {
+			p, err := typecheckUnit(e.ImportPath+":xtest", e.Dir, e.XTestGoFiles, exports, e.ImportPath)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+func typecheckUnit(unitPath, dir string, fileNames []string, exports map[string]string, underTest string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range fileNames {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if path == underTest {
+			if v, ok := exports[path+" ["+path+".test]"]; ok {
+				return os.Open(v)
+			}
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	p := &Package{Path: unitPath, Dir: dir, Fset: fset, Files: files}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	// Errors are collected, not fatal: Check returns a partial package.
+	p.Pkg, _ = conf.Check(strings.TrimSuffix(unitPath, ":xtest"), fset, files, p.Info)
+	return p, nil
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicPath bans panic() in the executor's hot-path packages. A panic in a
+// kernel or scheduler goroutine kills the whole process — every concurrent
+// step, every registered graph — where a diagnosed error would fail one
+// step with a message naming the node. Registry init-time panics
+// (duplicate op registration) and builder-API Must* helpers are the
+// sanctioned exceptions; they carry dcfvet:allow annotations at the site.
+var PanicPath = &Analyzer{
+	Name: "panicpath",
+	Doc:  "no panic() in internal/exec, internal/graph, internal/ops non-test code; fail the step with a diagnosed error",
+	Run:  runPanicPath,
+}
+
+var panicPathPkgs = map[string]bool{
+	"repro/internal/exec":  true,
+	"repro/internal/graph": true,
+	"repro/internal/ops":   true,
+}
+
+func runPanicPath(pass *Pass) {
+	if !panicPathPkgs[strings.TrimSuffix(pass.Pkg.Path, ":xtest")] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				pass.Reportf(call.Pos(), "panic in a hot-path package kills every concurrent step; return a diagnosed error naming the node/op instead")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,26 @@
+// Package ctxapi seeds ctxthread violations: exported entry points that
+// advertise or swallow cancellation incorrectly.
+package ctxapi
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+// IgnoresCtx takes a ctx it never threads anywhere.
+func IgnoresCtx(ctx context.Context, n int) int { // WANT:ctxthread
+	return n * 2
+}
+
+// Orphan manufactures a context with no OrphanCtx escape hatch.
+func Orphan() error {
+	return run(context.Background()) // WANT:ctxthread
+}
+
+// Shim is the sanctioned convenience pattern: ShimCtx exists.
+func Shim() error { return ShimCtx(context.Background()) }
+
+// ShimCtx is the cancellation-aware variant.
+func ShimCtx(ctx context.Context) error { return run(ctx) }
+
+// Threads uses its ctx; no finding.
+func Threads(ctx context.Context) error { return run(ctx) }

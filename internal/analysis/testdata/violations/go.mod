@@ -1,0 +1,6 @@
+// Seeded-violation fixture for cmd/dcfvet. The module path deliberately
+// mirrors the real module so path-scoped analyzers (panicpath) fire.
+// Living under testdata/, it is invisible to the parent module's builds.
+module repro
+
+go 1.24

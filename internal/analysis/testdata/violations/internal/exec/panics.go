@@ -1,0 +1,16 @@
+// Package exec seeds panicpath violations: its import path matches the
+// real executor, where panic() is banned outside annotated sites.
+package exec
+
+// Explode panics on a hot path.
+func Explode(step int) {
+	if step < 0 {
+		panic("negative step") // WANT:panicpath
+	}
+}
+
+// Tolerated carries an allow annotation and must NOT be reported.
+func Tolerated() {
+	// dcfvet:allow panicpath=fixture-sanctioned
+	panic("allowed")
+}

@@ -1,0 +1,56 @@
+// Package kernels seeds freshforward violations: OpDef literals whose
+// kernels claim input buffers without declaring Fresh outputs.
+package kernels
+
+// KernelContext mimics the real ops.KernelContext surface.
+type KernelContext struct{ bufs []int }
+
+// ForwardableInput mimics buffer-ownership transfer.
+func (c *KernelContext) ForwardableInput(i int) int { return c.bufs[i] }
+
+// OpDef mimics the real ops.OpDef surface.
+type OpDef struct {
+	Name   string
+	Fresh  bool
+	Kernel func(*KernelContext)
+}
+
+// reluKernel forwards directly.
+func reluKernel(ctx *KernelContext) { _ = ctx.ForwardableInput(0) }
+
+// negKernel forwards transitively through a helper.
+func negKernel(ctx *KernelContext) { claim(ctx) }
+
+func claim(ctx *KernelContext) { _ = ctx.ForwardableInput(0) }
+
+var (
+	// Direct forwarding via a func literal, no Fresh: flagged.
+	badLit = OpDef{
+		Name:   "relu_lit",
+		Kernel: func(ctx *KernelContext) { _ = ctx.ForwardableInput(0) }, // WANT:freshforward
+	}
+	// Forwarding via a named kernel, no Fresh: flagged.
+	badNamed = OpDef{
+		Name:   "relu_named",
+		Kernel: reluKernel, // WANT:freshforward
+	}
+	// Transitive forwarding through a helper, no Fresh: flagged.
+	badTransitive = OpDef{
+		Name:   "neg",
+		Kernel: negKernel, // WANT:freshforward
+	}
+	// Forwarding with Fresh: true — the contract is honored, no finding.
+	goodFresh = OpDef{
+		Name:   "relu_ok",
+		Fresh:  true,
+		Kernel: reluKernel,
+	}
+	// No forwarding at all — Fresh is optional, no finding.
+	goodPlain = OpDef{
+		Name:   "add",
+		Kernel: func(ctx *KernelContext) {},
+	}
+)
+
+// use keeps the vars referenced.
+func use() []OpDef { return []OpDef{badLit, badNamed, badTransitive, goodFresh, goodPlain} }

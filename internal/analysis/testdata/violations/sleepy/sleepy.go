@@ -1,0 +1,5 @@
+// Package sleepy seeds testsleep violations in its test file.
+package sleepy
+
+// Ready reports readiness; tests poll it.
+func Ready() bool { return true }

@@ -1,0 +1,28 @@
+package sleepy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBareSleep(t *testing.T) {
+	time.Sleep(10 * time.Millisecond) // WANT:testsleep
+	if !Ready() {
+		t.Fatal("not ready")
+	}
+}
+
+func TestPollLoopIsFine(t *testing.T) {
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if Ready() {
+			return
+		}
+		time.Sleep(time.Millisecond) // poll interval: not flagged
+	}
+	t.Fatal("never ready")
+}
+
+func TestAnnotatedSleepIsFine(t *testing.T) {
+	time.Sleep(time.Millisecond) // dcfvet:allow testsleep=simulated work
+}

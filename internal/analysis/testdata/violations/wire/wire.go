@@ -1,0 +1,40 @@
+// Package wire seeds gobsafe violations: envelope types that do not
+// survive a gob round trip.
+package wire
+
+import (
+	"encoding/gob"
+	"time"
+)
+
+// Leaky drops state on the wire: gob skips unexported fields and cannot
+// encode channels.
+type Leaky struct {
+	Step   int
+	secret string
+	Notify chan int
+}
+
+// Clean survives the round trip; time.Time implements GobEncoder.
+type Clean struct {
+	Step int
+	When time.Time
+	Tags map[string][]string
+}
+
+// Send seeds two findings on one Encode call (unexported field + chan).
+func Send(enc *gob.Encoder, e Leaky) error {
+	return enc.Encode(e) // WANT:gobsafe gobsafe
+}
+
+// Recv decodes into the same leaky shape.
+func Recv(dec *gob.Decoder) (Leaky, error) {
+	var e Leaky
+	err := dec.Decode(&e) // WANT:gobsafe gobsafe
+	return e, err
+}
+
+// SendClean must not be flagged.
+func SendClean(enc *gob.Encoder, e Clean) error {
+	return enc.Encode(e)
+}

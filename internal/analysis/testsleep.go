@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TestSleep bans bare time.Sleep in _test.go files. Sleeping for "long
+// enough" is how the PR 5 CI smoke test went flaky: the right duration
+// depends on machine load, so the test either wastes wall-clock or races.
+// Synchronize on the event instead — a channel, sync.WaitGroup, or a poll
+// loop with a deadline.
+//
+// A Sleep inside a for/range body is NOT flagged: that is the poll-loop
+// pattern this analyzer recommends (the loop re-checks a condition, so the
+// interval only tunes latency, not correctness). Straight-line sleeps that
+// *simulate work* (fake kernel latency, staged cancellation mid-step) are
+// legitimate too; annotate those lines with
+// "// dcfvet:allow testsleep=<why>".
+var TestSleep = &Analyzer{
+	Name: "testsleep",
+	Doc:  "no bare time.Sleep in _test.go files; synchronize on the event or poll in a loop",
+	Run:  runTestSleep,
+}
+
+func runTestSleep(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if !isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		// Collect the extents of every loop body: a Sleep inside one is a
+		// poll interval, not a synchronization guess.
+		type span struct{ lo, hi token.Pos }
+		var loops []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+			case *ast.RangeStmt:
+				loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+			}
+			return true
+		})
+		inLoop := func(p token.Pos) bool {
+			for _, s := range loops {
+				if s.lo <= p && p < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && !inLoop(call.Pos()) {
+				pass.Reportf(call.Pos(), "time.Sleep in a test: synchronize on the event (channel, WaitGroup, or deadline poll) instead of sleeping")
+			}
+			return true
+		})
+	}
+}

@@ -132,7 +132,7 @@ func percentile(ds []time.Duration, p float64) time.Duration {
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 
 // BatchServe runs the experiment and prints a table.
-func BatchServe(cfg BatchServeConfig, w io.Writer) (*BatchServeResult, error) {
+func BatchServe(ctx context.Context, cfg BatchServeConfig, w io.Writer) (*BatchServeResult, error) {
 	g := dcf.NewGraph()
 	x := g.PlaceholderTyped("x", dcf.Float, -1, cfg.Hidden)
 	layers := cfg.Layers
@@ -159,7 +159,6 @@ func BatchServe(cfg BatchServeConfig, w io.Writer) (*BatchServeResult, error) {
 		return nil, err
 	}
 	input := dcf.RandNormal(3, 0, 1, 1, cfg.Hidden)
-	ctx := context.Background()
 	if _, err := callable.Call(ctx, input); err != nil { // warm plan + pool
 		return nil, err
 	}
@@ -232,7 +231,7 @@ func BatchServe(cfg BatchServeConfig, w io.Writer) (*BatchServeResult, error) {
 		// Half the sweep's peak: high enough to force real batching,
 		// low enough that the arrival generator (which shares the host
 		// with the server) can hold its schedule.
-		ol, err := openLoop(sess, spec, opts, input, best*0.5, cfg.OpenLoopSeconds)
+		ol, err := openLoop(ctx, sess, spec, opts, input, best*0.5, cfg.OpenLoopSeconds)
 		if err != nil {
 			return res, err
 		}
@@ -294,7 +293,7 @@ func closedLoop(workers, perWorker int, step func() (lat, qd time.Duration, err 
 // openLoop fires arrivals at a fixed rate for dur seconds, each in its own
 // goroutine (completion never gates the next arrival), and reports the
 // latency distribution at that offered load.
-func openLoop(sess *dcf.Session, spec dcf.CallableSpec, opts dcf.BatchOptions, input *dcf.Value, rate, durSec float64) (*OpenLoopRow, error) {
+func openLoop(ctx context.Context, sess *dcf.Session, spec dcf.CallableSpec, opts dcf.BatchOptions, input *dcf.Value, rate, durSec float64) (*OpenLoopRow, error) {
 	if rate <= 0 {
 		return nil, fmt.Errorf("batchserve: open-loop rate must be positive")
 	}
@@ -312,7 +311,6 @@ func openLoop(sess *dcf.Session, spec dcf.CallableSpec, opts dcf.BatchOptions, i
 	var dropped int64
 	var firstErr error
 	var wg sync.WaitGroup
-	ctx := context.Background()
 	arrivals := 0
 	start := time.Now()
 	// A ticking clock drifts under goroutine-scheduling noise; computing

@@ -64,7 +64,7 @@ func DefaultChaos(quick bool) ChaosConfig {
 }
 
 // Chaos runs the kill-and-recover scenario and reports one row.
-func Chaos(cfg ChaosConfig, dir string, w io.Writer) ([]ChaosRow, error) {
+func Chaos(ctx context.Context, cfg ChaosConfig, dir string, w io.Writer) ([]ChaosRow, error) {
 	// Land the kill mid-checkpoint-interval, not on a boundary, so the
 	// recovery window includes genuine replay (boundary kills replay
 	// nothing and understate the §3 model's cost).
@@ -141,7 +141,7 @@ func Chaos(cfg ChaosConfig, dir string, w io.Writer) ([]ChaosRow, error) {
 	}
 
 	t0 := time.Now()
-	if _, err := distrib.RunJob(context.Background(), fleet, spec, distrib.JobOptions{
+	if _, err := distrib.RunJob(ctx, fleet, spec, distrib.JobOptions{
 		Steps:          uint64(cfg.Steps),
 		TCP:            distrib.TCPOptions{CheckpointDir: dir, CheckpointEvery: cfg.CheckpointEvery, Workers: Workers},
 		MaxStepRetries: 10,

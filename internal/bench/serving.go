@@ -53,7 +53,7 @@ type ServingRow struct {
 }
 
 // Serving runs the sweep and prints a table.
-func Serving(cfg ServingConfig, w io.Writer) ([]ServingRow, error) {
+func Serving(ctx context.Context, cfg ServingConfig, w io.Writer) ([]ServingRow, error) {
 	g := dcf.NewGraph()
 	x := g.Placeholder("x")
 	w1 := g.Const(dcf.RandNormal(1, 0, 0.3, cfg.Hidden, cfg.Hidden))
@@ -71,7 +71,6 @@ func Serving(cfg ServingConfig, w io.Writer) ([]ServingRow, error) {
 		return nil, err
 	}
 	input := dcf.RandNormal(3, 0, 1, 1, cfg.Hidden)
-	ctx := context.Background()
 
 	// Warm both paths (plan cache, tensor pool).
 	if _, err := callable.Call(ctx, input); err != nil {

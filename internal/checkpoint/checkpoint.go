@@ -157,9 +157,15 @@ func Decode(r io.Reader) (map[string]*tensor.Tensor, error) {
 	if n > maxPayload {
 		return nil, fmt.Errorf("checkpoint: implausible payload length %d (corrupt header)", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("checkpoint: truncated payload (%d bytes expected): %w", n, err)
+	// Read incrementally rather than preallocating n bytes: the length
+	// field is untrusted, and a lying header over a short stream must not
+	// allocate gigabytes before the truncation is noticed.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading payload: %w", err)
+	}
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("checkpoint: truncated payload (%d bytes expected, %d present)", n, len(payload))
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(hdr[16:20]); got != want {
 		return nil, fmt.Errorf("checkpoint: corrupt payload (crc %08x, want %08x)", got, want)
@@ -173,10 +179,27 @@ func Decode(r io.Reader) (map[string]*tensor.Tensor, error) {
 	}
 	vars := make(map[string]*tensor.Tensor, len(f.Vars))
 	for _, s := range f.Vars {
-		var val *tensor.Tensor
+		// The decoded shape is untrusted even after the CRC passes (the
+		// file may have been *encoded* corrupt): validate dimensions and
+		// element counts before the panicking tensor constructors run.
+		var elems int
 		switch tensor.DType(s.DType) {
 		case tensor.Float:
-			val = tensor.FromFloats(s.F, s.Shape...)
+			elems = len(s.F)
+		case tensor.Int:
+			elems = len(s.I)
+		case tensor.Bool:
+			elems = len(s.B)
+		case tensor.Str:
+			elems = len(s.S)
+		default:
+			return nil, fmt.Errorf("checkpoint: variable %s: unknown dtype %d", s.Name, s.DType)
+		}
+		if err := tensor.CheckShape(s.Shape, elems); err != nil {
+			return nil, fmt.Errorf("checkpoint: variable %s: %w", s.Name, err)
+		}
+		var val *tensor.Tensor
+		switch tensor.DType(s.DType) {
 		case tensor.Int:
 			val = tensor.FromInts(s.I, s.Shape...)
 		case tensor.Bool:
@@ -184,7 +207,7 @@ func Decode(r io.Reader) (map[string]*tensor.Tensor, error) {
 		case tensor.Str:
 			val = tensor.FromStrings(s.S, s.Shape...)
 		default:
-			return nil, fmt.Errorf("checkpoint: variable %s: unknown dtype %d", s.Name, s.DType)
+			val = tensor.FromFloats(s.F, s.Shape...)
 		}
 		vars[s.Name] = val
 	}

@@ -48,22 +48,40 @@ func TensorToWire(t *tensor.Tensor) *WireTensor {
 	}
 }
 
-// TensorFromWire rebuilds a tensor, rejecting unknown dtypes explicitly.
+// TensorFromWire rebuilds a tensor. The wire shape is untrusted: dtype,
+// dimension signs, and the shape/payload element count are all validated
+// before the panicking tensor constructors run, so a malformed or hostile
+// envelope yields a diagnosed error, never a panic in the worker.
 func TensorFromWire(w *WireTensor) (*tensor.Tensor, error) {
 	if w == nil {
 		return nil, nil
 	}
+	var elems int
 	switch tensor.DType(w.DType) {
 	case tensor.Float:
-		return tensor.FromFloats(w.F, w.Shape...), nil
+		elems = len(w.F)
+	case tensor.Int:
+		elems = len(w.I)
+	case tensor.Bool:
+		elems = len(w.B)
+	case tensor.Str:
+		elems = len(w.S)
+	default:
+		return nil, fmt.Errorf("cluster: unknown wire dtype %d", w.DType)
+	}
+	if err := tensor.CheckShape(w.Shape, elems); err != nil {
+		return nil, fmt.Errorf("cluster: malformed wire tensor: %w", err)
+	}
+	switch tensor.DType(w.DType) {
 	case tensor.Int:
 		return tensor.FromInts(w.I, w.Shape...), nil
 	case tensor.Bool:
 		return tensor.FromBools(w.B, w.Shape...), nil
 	case tensor.Str:
 		return tensor.FromStrings(w.S, w.Shape...), nil
+	default:
+		return tensor.FromFloats(w.F, w.Shape...), nil
 	}
-	return nil, fmt.Errorf("cluster: unknown wire dtype %d", w.DType)
 }
 
 // Attribute kinds of WireAttr (an explicit tagged union: gob needs no
@@ -370,7 +388,13 @@ func BuildGraph(nodes []WireNode) (*graph.Graph, map[string]*graph.Node, error) 
 		if !ok {
 			return nil, nil, fmt.Errorf("cluster: back edge %s -> %s references an absent node", f.src.Node, f.node.Name())
 		}
-		f.node.ReplaceInput(f.idx, src.Out(f.src.Index))
+		// ReplaceInput skips AddNode's port validation, so check the
+		// untrusted wire index here.
+		out := src.Out(f.src.Index)
+		if !out.Valid() {
+			return nil, nil, fmt.Errorf("cluster: back edge %s:%d -> %s references an invalid output port", f.src.Node, f.src.Index, f.node.Name())
+		}
+		f.node.ReplaceInput(f.idx, out)
 	}
 	for _, f := range ctlFixups {
 		src, ok := byName[f.src]

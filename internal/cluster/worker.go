@@ -15,6 +15,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/rendezvous"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 var debugCluster = os.Getenv("CLUSTER_DEBUG") != ""
@@ -429,6 +430,14 @@ func (w *Worker) register(rg *RegisterGraph, owner net.Conn) error {
 			}
 			fetches = append(fetches, o)
 		}
+		// A remote master is a trust boundary: refuse a partition that
+		// cannot execute (bad arities, broken frames, dead merges) at
+		// registration, with diagnostics in the RegResp, rather than
+		// hanging or failing at step time. Partial mode — the peer ends
+		// of Send/Recv pairs live on other workers.
+		if ds := verify.Check(g, verify.Options{Nodes: nodes}); len(ds) != 0 {
+			return fmt.Errorf("cluster: partition %q failed verification: %w", part.Device, ds.Err())
+		}
 		p, err := exec.NewPlan(g, nodes, fetches)
 		if err != nil {
 			return fmt.Errorf("cluster: partition %q: %w", part.Device, err)
@@ -549,16 +558,16 @@ func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *Ste
 	for _, part := range g.parts {
 		go func(dev string) {
 			ex, err := exec.NewFromPlan(g.plans[dev], exec.Config{
-				Ctx:                ctx,
-				Feeds:              feeds,
-				StepRes:            stepRes,
-				SessionRes:         g.sessRes,
+				Ctx:        ctx,
+				Feeds:      feeds,
+				StepRes:    stepRes,
+				SessionRes: g.sessRes,
 				// The RNG stream is a pure function of the step number —
 				// deliberately independent of GraphID, which changes when a
 				// resumed or rebuilt job re-registers. A job replayed from a
 				// checkpoint therefore draws identical random numbers and
 				// reproduces an uninterrupted run bit for bit.
-				RNG: tensor.NewRNG(req.Step*1000003 + 17),
+				RNG:                tensor.NewRNG(req.Step*1000003 + 17),
 				Rendezvous:         rv,
 				ParallelIterations: g.parallel,
 				Workers:            g.workers,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // Session executes graphs. It owns session-lifetime resources (variables)
@@ -57,6 +58,14 @@ type Session struct {
 	// generations are dropped rather than accreted.
 	plans        map[string]*exec.Plan
 	plansVersion uint64
+
+	// verified* cache the whole-graph static verification result
+	// (internal/verify) per graph version, so verification runs once per
+	// compile generation — at plan-build time, never per step. Guarded
+	// by mu.
+	verifiedSet     bool
+	verifiedVersion uint64
+	verifiedErr     error
 
 	statsMu   sync.Mutex
 	lastStats RunStats
@@ -188,6 +197,29 @@ func (s *Session) LastRunStats() RunStats {
 	return s.lastStats
 }
 
+// verifyGraph runs the static dataflow verifier (internal/verify) over the
+// whole graph, once per graph version: a cached verdict is returned until
+// the next mutation. Callers hit it only when compiling a plan, so the
+// steady-state step path never pays for verification.
+func (s *Session) verifyGraph() error {
+	v := s.B.G.Version()
+	s.mu.RLock()
+	done := s.verifiedSet && s.verifiedVersion == v
+	err := s.verifiedErr
+	s.mu.RUnlock()
+	if done {
+		return err
+	}
+	err = verify.Check(s.B.G, verify.Options{Complete: true}).Err()
+	if err != nil {
+		err = fmt.Errorf("core: graph failed verification: %w", err)
+	}
+	s.mu.Lock()
+	s.verifiedSet, s.verifiedVersion, s.verifiedErr = true, v, err
+	s.mu.Unlock()
+	return err
+}
+
 // planFor returns (building and caching on first use) the executor plan
 // for a run signature. The fast path takes only a read lock, so concurrent
 // steady-state runs do not serialize on the cache.
@@ -211,6 +243,13 @@ func (s *Session) planFor(fetches []graph.Output, targets []*graph.Node) (*exec.
 	s.mu.RUnlock()
 	if ok {
 		return p, len(p.Nodes()), nil
+	}
+
+	// First compile at this signature (or graph version): verify before
+	// planning, so structural bugs surface as diagnostics here rather
+	// than executor hangs at step time.
+	if err := s.verifyGraph(); err != nil {
+		return nil, 0, err
 	}
 
 	s.mu.Lock()
@@ -280,6 +319,9 @@ type Callable struct {
 func (s *Session) MakeCallable(spec CallableSpec) (*Callable, error) {
 	if err := s.B.Err(); err != nil {
 		return nil, fmt.Errorf("core: graph has a construction error: %w", err)
+	}
+	if err := s.verifyGraph(); err != nil {
+		return nil, err
 	}
 	nodes := Prune(s.B.G, spec.Fetches, spec.Targets)
 	// Feeds outside the pruned subgraph are legal (ignored), as in

@@ -43,7 +43,7 @@ func TestClusterRunCtxCancel(t *testing.T) {
 		_, err := c.RunCtx(ctx, nil)
 		errc <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // dcfvet:allow testsleep=stage the step mid-flight before cancel
 	cancel()
 	select {
 	case err := <-errc:

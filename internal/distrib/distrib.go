@@ -31,6 +31,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rendezvous"
 	"repro/internal/tensor"
+	"repro/internal/verify"
 )
 
 // Options configures an in-process cluster.
@@ -100,6 +101,12 @@ func NewCluster(b *core.Builder, fetches []graph.Output, targets []*graph.Node, 
 	}
 	if err := partition.Validate(res); err != nil {
 		return nil, err
+	}
+	// Full static verification of the partitioned program: Send/Recv key
+	// pairing across partitions and the cross-partition rendezvous-cycle
+	// check only make sense here, where every partition is visible.
+	if ds := verify.CheckPartitions(b.G, res.Parts); len(ds) != 0 {
+		return nil, fmt.Errorf("distrib: partitioned graph failed verification: %w", ds.Err())
 	}
 	fetchDev := make([]string, len(fetches))
 	perDev := map[string][]graph.Output{}

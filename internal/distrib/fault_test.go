@@ -280,7 +280,7 @@ func TestRunJobKillRestart(t *testing.T) {
 		<-killed
 		ctrlAddr := workers[1].Addr()
 		workers[1].Close()
-		time.Sleep(300 * time.Millisecond)
+		time.Sleep(300 * time.Millisecond) // dcfvet:allow testsleep=simulated worker downtime
 		w2, err := cluster.NewWorker("wB", ctrlAddr, "127.0.0.1:0")
 		if err != nil {
 			t.Errorf("restart wB: %v", err)

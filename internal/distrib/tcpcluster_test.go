@@ -153,7 +153,7 @@ func TestTCPClusterCancellation(t *testing.T) {
 		_, err := tc.RunCtx(ctx, map[string]*tensor.Tensor{"limit": tensor.Scalar(1e12)})
 		done <- err
 	}()
-	time.Sleep(100 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond) // dcfvet:allow testsleep=stage the step mid-flight before cancel
 	cancel()
 	select {
 	case err := <-done:
@@ -204,7 +204,7 @@ func TestTCPClusterWorkerKilledMidStep(t *testing.T) {
 		_, err := tc.RunCtx(context.Background(), map[string]*tensor.Tensor{"limit": tensor.Scalar(1e12)})
 		done <- err
 	}()
-	time.Sleep(100 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond) // dcfvet:allow testsleep=stage the step mid-flight before kill
 	ctrlAddr := workers[1].Addr()
 	workers[1].Close() // kill wB mid-step
 

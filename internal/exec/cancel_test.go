@@ -39,7 +39,7 @@ func TestRunCanceledMidLoop(t *testing.T) {
 		_, err := ex.Run()
 		errc <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // dcfvet:allow testsleep=stage the run mid-flight before cancel
 	cancel()
 	select {
 	case err := <-errc:
@@ -95,7 +95,7 @@ func TestCancelFailsPendingRecv(t *testing.T) {
 		_, err := ex.Run()
 		errc <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) // dcfvet:allow testsleep=stage the run mid-flight before cancel
 	cancel()
 	select {
 	case err := <-errc:

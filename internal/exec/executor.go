@@ -605,6 +605,9 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 		}
 	}()
 	it := ex.iteration(ex.root, 0)
+	if it == nil {
+		return nil, ex.firstErr
+	}
 	for _, idx := range ex.plan.sources {
 		ex.schedule(idx, ex.root, it)
 	}
@@ -749,7 +752,9 @@ func (ex *Executor) newIterState(i int) *iterState {
 }
 
 // iteration returns (creating if needed) an iteration; creation replays
-// loop constants into it.
+// loop constants into it. A ring collision — a token targeting a retired
+// or out-of-window iteration — fails the step and returns nil; callers
+// must tolerate a nil iteration on the abort path.
 func (ex *Executor) iteration(f *frameState, i int) *iterState {
 	slot := i % len(f.ring)
 	if it := f.ring[slot]; it != nil {
@@ -758,10 +763,11 @@ func (ex *Executor) iteration(f *frameState, i int) *iterState {
 		}
 		// The window invariant (deliveries only target iterations in
 		// [doneFrontier, doneFrontier+parallel)) makes ring slots exact;
-		// a collision means a token targeted a retired or out-of-window
-		// iteration.
-		panic(fmt.Sprintf("exec: internal: iteration %d of frame %q collides with live iteration %d (window [%d,%d))",
+		// a collision is an executor bug, but it must fail this step with
+		// a diagnosis, not kill the process (and every concurrent step).
+		ex.fail(fmt.Errorf("exec: internal: iteration %d of frame %q collides with live iteration %d (window [%d,%d))",
 			i, f.name, it.iter, f.doneFrontier, f.doneFrontier+f.parallel))
+		return nil
 	}
 	it := ex.newIterState(i)
 	f.ring[slot] = it
@@ -828,8 +834,9 @@ func (ex *Executor) frameActivityUp(fs *frameState) {
 		// A parent iteration below the frontier has already retired; it
 		// needs no child accounting (and must not be resurrected).
 		if fs.parentIter >= fs.parent.doneFrontier {
-			pit := ex.iteration(fs.parent, fs.parentIter)
-			pit.childrenActive++
+			if pit := ex.iteration(fs.parent, fs.parentIter); pit != nil {
+				pit.childrenActive++
+			}
 		}
 		ex.frameActivityUp(fs.parent)
 	}
@@ -865,6 +872,14 @@ func (ex *Executor) frameActivityDown(fs *frameState) {
 // ready.
 func (ex *Executor) deliverData(ce consumerEdge, fs *frameState, iter int, tok Token) {
 	it := ex.iteration(fs, iter)
+	if it == nil {
+		// Step already failed; drop the token (recycling its buffer if
+		// this delivery exclusively owned it).
+		if tok.Owned && tok.Val.T != nil {
+			tensor.Recycle(tok.Val.T)
+		}
+		return
+	}
 	ns := ex.nstate(it, ce.idx)
 	if ns.scheduled {
 		// e.g. a Merge that already fired on its first live input; the
@@ -889,6 +904,9 @@ func (ex *Executor) deliverData(ce consumerEdge, fs *frameState, iter int, tok T
 // deliverControl records a control-edge arrival.
 func (ex *Executor) deliverControl(idx int32, fs *frameState, iter int, dead bool) {
 	it := ex.iteration(fs, iter)
+	if it == nil {
+		return // step already failed
+	}
 	ns := ex.nstate(it, idx)
 	if ns.scheduled {
 		return

@@ -147,7 +147,7 @@ func TestPoolCancelMidSteal(t *testing.T) {
 		_, err := ex.Run()
 		errc <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // dcfvet:allow testsleep=stage the run mid-flight before cancel
 	cancel()
 	select {
 	case err := <-errc:

@@ -23,7 +23,7 @@ func (r *slowRunner) RunKernel(node, op string, fn func()) {
 				break
 			}
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) // dcfvet:allow testsleep=simulated kernel latency
 		atomic.AddInt32(&r.cur, -1)
 	}
 	fn()

@@ -302,7 +302,7 @@ func (g *Graph) AddNode(args NodeArgs) (*Node, error) {
 func (g *Graph) MustAddNode(args NodeArgs) *Node {
 	n, err := g.AddNode(args)
 	if err != nil {
-		panic(err)
+		panic(err) // dcfvet:allow panicpath=builder Must* API, construction-time only
 	}
 	return n
 }

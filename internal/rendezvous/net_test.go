@@ -78,7 +78,7 @@ func TestSlowPeerDoesNotBlockOthers(t *testing.T) {
 		stuck <- a.Send(sendKey("wDown", "t0"), netTok(1))
 	}()
 	// Give the dial-retry loop time to get into its backoff.
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond) // dcfvet:allow testsleep=let the dial retry enter its backoff
 
 	start := time.Now()
 	if err := a.Send(sendKey("wB", "t0"), netTok(2)); err != nil {
@@ -120,7 +120,7 @@ func TestScopedAbortReleasesDialRetry(t *testing.T) {
 	go func() {
 		done <- sc.Send(sendKey("wDown", "t0"), netTok(1))
 	}()
-	time.Sleep(30 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond) // dcfvet:allow testsleep=stage the send mid-flight before Abort
 	sc.Abort(errors.New("step canceled"))
 	select {
 	case err := <-done:

@@ -39,7 +39,7 @@ func TestLocalRecvBlocksUntilSend(t *testing.T) {
 		}
 		done <- tk
 	}()
-	time.Sleep(5 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // dcfvet:allow testsleep=prove the recv blocks before sending
 	select {
 	case <-done:
 		t.Fatal("recv returned before send")
@@ -108,7 +108,7 @@ func TestLocalAbortUnblocksAll(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) // dcfvet:allow testsleep=stage the recvs mid-flight before Abort
 	l.Abort(nil)
 	wg.Wait()
 	if err := l.Send("later", tok(1)); err == nil {

@@ -466,7 +466,7 @@ func TestMaxBatchSizeSplitsLongQueue(t *testing.T) {
 			}
 		}(i)
 	}
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) // dcfvet:allow testsleep=let requests pile into the queue
 	close(block)
 	wg.Wait()
 	b.Close()
@@ -549,7 +549,7 @@ func TestConcurrentHammer(t *testing.T) {
 	// Race-detector workout: many goroutines, mixed shapes, cancels, and
 	// snapshots, against a call with real latency.
 	call := func(ctx context.Context, args []*tensor.Tensor) ([]*tensor.Tensor, error) {
-		time.Sleep(200 * time.Microsecond)
+		time.Sleep(200 * time.Microsecond) // dcfvet:allow testsleep=simulated call latency
 		return []*tensor.Tensor{args[0]}, nil
 	}
 	b := New(call, Options{MaxBatchSize: 8, MaxQueueDelay: time.Millisecond, MaxInFlight: 4})

@@ -113,12 +113,17 @@ func (s *Res) Pop(mem ops.DeviceMem) (ops.Value, error) {
 	}
 	e := s.elems[len(s.elems)-1]
 	s.elems = s.elems[:len(s.elems)-1]
+	// Snapshot the swap state while still holding the lock: the swap-out
+	// completion callback flips e.state under s.mu from the device's
+	// transfer stream. A swappingOut snapshot may complete right after the
+	// unlock; the outDone wait below synchronizes with that.
+	state := e.state
 	s.mu.Unlock()
 
 	if mem == nil || e.bytes == 0 {
 		return e.v, nil
 	}
-	switch e.state {
+	switch state {
 	case onDevice:
 		mem.Release(e.bytes)
 		return e.v, nil

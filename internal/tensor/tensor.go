@@ -86,6 +86,28 @@ func NumElements(shape []int) int {
 	return n
 }
 
+// CheckShape reports whether shape is a well-formed dense shape holding
+// exactly elems elements: no negative dimension, and an overflow-checked
+// element product equal to elems. Decoders of untrusted input (wire
+// envelopes, checkpoint files) must validate with it before calling the
+// panicking From* constructors.
+func CheckShape(shape []int, elems int) error {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return fmt.Errorf("tensor: negative dimension %d in shape %v", d, shape)
+		}
+		if d > 0 && n > (1<<62)/d {
+			return fmt.Errorf("tensor: element count of shape %v overflows", shape)
+		}
+		n *= d
+	}
+	if n != elems {
+		return fmt.Errorf("tensor: shape %v holds %d elements, data has %d", shape, n, elems)
+	}
+	return nil
+}
+
 func cloneShape(s []int) []int {
 	out := make([]int, len(s))
 	copy(out, s)
