@@ -11,7 +11,12 @@
 //	dcfbench -exp fig11 -workers 4 -fuse   # A/B the executor knobs
 //
 // Experiment ids: fig11, fig12, table1, fig13, fig14, fig15, dqn,
-// ablations, serving, batchserve, tcpdist, chaos. The tcpdist experiment brings
+// ablations, serving, batchserve, tcpdist, chaos, fleetserve. The
+// fleetserve experiment sweeps the replicated serving router
+// (internal/fleetserve) over replica counts {1,2,4} in closed and open
+// loop, with and without one replica daemon killed and restarted mid-run,
+// reporting before/during/after-kill throughput and the recovery time to
+// readmission. The tcpdist experiment brings
 // worker daemons up on loopback TCP, registers a partitioned while-loop
 // through the multi-process cluster runtime (distrib.Dial/TCPCluster), and
 // sweeps steps/sec against worker count and injected one-way fabric
@@ -56,7 +61,7 @@ func main() {
 // run1 is main's body; returning the exit code (instead of calling os.Exit
 // inline) lets the deferred profile writers run on failure paths too.
 func run1() int {
-	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|batchserve|tcpdist|chaos|all)")
+	exp := flag.String("exp", "all", "experiment id (fig11|fig12|table1|fig13|fig14|fig15|dqn|ablations|serving|batchserve|tcpdist|chaos|fleetserve|all)")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0)*2, "top of the serving/batchserve experiments' goroutine sweep")
 	batch := flag.Int("batch", 32, "batchserve: max rows per micro-batch")
@@ -146,6 +151,8 @@ func run1() int {
 			}
 			defer os.RemoveAll(dir)
 			return bench.Chaos(context.Background(), bench.DefaultChaos(*quick), dir, os.Stdout)
+		case "fleetserve":
+			return bench.FleetServe(context.Background(), bench.DefaultFleetServe(*quick, *concurrency), os.Stdout)
 		case "ablations":
 			res := map[string]float64{}
 			for _, n := range []int{16, 256} {
@@ -174,7 +181,7 @@ func run1() int {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving", "batchserve", "tcpdist", "chaos"}
+		ids = []string{"fig11", "fig12", "table1", "fig13", "fig14", "fig15", "dqn", "ablations", "serving", "batchserve", "tcpdist", "chaos", "fleetserve"}
 	}
 	report := bench.NewReport(*quick, runtime.GOMAXPROCS(0))
 	for _, id := range ids {

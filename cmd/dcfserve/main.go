@@ -6,26 +6,46 @@
 //	dcfserve -addr 127.0.0.1:8080 -batch 32 -delay 2ms
 //	dcfserve -checkpoint model.ckpt              # restore trained weights
 //	dcfserve -write-checkpoint model.ckpt        # init + save, then exit
+//	dcfserve -replicas 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	                                             # fleet mode: route over
+//	                                             # replica daemons
 //
 // Endpoints:
 //
 //	POST /predict   {"x": [d floats]}  or  {"instances": [[d floats], ...]}
 //	                → {"scores": [...]} / {"scores": [[...], ...]}
 //	                (at most -batch instances per request; more is a 400)
-//	GET  /healthz   liveness (200 once serving)
+//	GET  /healthz   liveness (200 once serving; 503 + Retry-After while
+//	                draining or when no replica is available)
 //	GET  /metrics   expvar JSON including the "serving" batcher snapshot
 //	                (batches, occupancy, queue delay, exec latency)
+//	GET  /fleetz    fleet mode only: the router's full status — per-replica
+//	                breaker state, occupancy, and routing counters
 //
-// Every predict request rides the shared dcf.Server: concurrent requests
-// coalesce into one batched executor step (feeds stacked along axis 0,
-// scores sliced back per request), so throughput scales with load instead
-// of paying full per-step runtime overhead per request. Request contexts
-// thread through to the batcher — a disconnected client is dropped from
-// its micro-batch without disturbing its neighbors.
+// In single-process mode every predict request rides the shared
+// dcf.Server: concurrent requests coalesce into one batched executor step
+// (feeds stacked along axis 0, scores sliced back per request), so
+// throughput scales with load instead of paying full per-step runtime
+// overhead per request. Request contexts thread through to the batcher — a
+// disconnected client is dropped from its micro-batch without disturbing
+// its neighbors.
 //
-// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections, lets
-// in-flight HTTP requests finish (bounded by -drain), then drains the
-// batcher so no accepted request is ever dropped mid-batch.
+// In fleet mode (-replicas) the same HTTP surface fronts a
+// fleetserve.Router over N replica daemons (start them with dcfworker):
+// least-loaded dispatch, per-replica circuit breakers, bounded rerouted
+// retries, and automatic readmission of restarted daemons. A kill -9'd
+// daemon costs capacity, never availability: requests reroute to the
+// survivors and the restarted daemon is re-registered, re-initialized, and
+// readmitted without operator action. Retriable routing failures
+// (fleetserve.ErrUnavailable) map to 503 + Retry-After; queue-full
+// backpressure maps to 429, exactly as in single-process mode.
+//
+// Shutdown is graceful in both modes: SIGINT/SIGTERM flips the server into
+// draining — /predict and /healthz answer 503 + Retry-After immediately
+// (clients and load balancers reroute instead of hanging on a dying
+// socket) — then after -drain-notice the listener stops, in-flight HTTP
+// requests finish (bounded by -drain), and the batching layer drains so no
+// accepted request is ever dropped mid-batch.
 package main
 
 import (
@@ -39,10 +59,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/dcf"
+	"repro/internal/core"
+	"repro/internal/fleetserve"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 // model bundles the session and batched server for one served signature.
@@ -88,10 +115,90 @@ func buildModel(dim, classes int, opts dcf.BatchOptions, workers int) (*model, e
 	}, nil
 }
 
+// fleetConfig builds the replicated-serving model: scores =
+// tanh(x@W1)@W2 with deterministic weights held as session state
+// (Config.Init), so every replica serves identical answers and a
+// restarted daemon is provably re-initialized by readmission rather than
+// limping along blank.
+func fleetConfig(dim, classes int) fleetserve.Config {
+	build := func(workers []string) (*core.Builder, []graph.Output, error) {
+		b := core.NewBuilder()
+		var scores graph.Output
+		b.WithDevice(workers[0]+"/cpu", func() {
+			x := b.Placeholder("x")
+			scores = b.MatMul(b.Tanh(b.MatMul(x, b.ReadVariable("w1"))), b.ReadVariable("w2"))
+		})
+		return b, []graph.Output{scores}, b.Err()
+	}
+	return fleetserve.Config{
+		Build:  build,
+		Feeds:  []string{"x"},
+		Init:   map[string]*tensor.Tensor{"w1": detWeights(dim, dim), "w2": detWeights(dim, classes)},
+		Warmup: []*tensor.Tensor{tensor.Zeros(1, dim)},
+	}
+}
+
+// detWeights fills a [rows, cols] weight matrix with a fixed small-valued
+// pattern: deterministic across replicas and restarts by construction.
+func detWeights(rows, cols int) *tensor.Tensor {
+	w := tensor.Zeros(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			w.F[i*cols+j] = float64((i*31+j*17)%13-6) / 20
+		}
+	}
+	return w
+}
+
 // predictRequest accepts one instance ("x") or a row-batch ("instances").
 type predictRequest struct {
 	X         []float64   `json:"x"`
 	Instances [][]float64 `json:"instances"`
+}
+
+// decodeRows parses /predict's request body into validated rows, writing
+// the HTTP error itself on failure (ok=false). Shared by both serving
+// modes.
+func decodeRows(w http.ResponseWriter, r *http.Request, dim int, maxBody int64) (rows [][]float64, single, ok bool) {
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return nil, false, false
+	}
+	rows = req.Instances
+	if rows == nil {
+		if req.X == nil {
+			http.Error(w, fmt.Sprintf(`want {"x": [%d floats]} or {"instances": [[%d floats], ...]}`, dim, dim), http.StatusBadRequest)
+			return nil, false, false
+		}
+		rows, single = [][]float64{req.X}, true
+	}
+	if len(rows) == 0 {
+		http.Error(w, "no instances", http.StatusBadRequest)
+		return nil, false, false
+	}
+	for i, row := range rows {
+		if len(row) != dim {
+			http.Error(w, fmt.Sprintf("instance %d has %d values, want %d", i, len(row), dim), http.StatusBadRequest)
+			return nil, false, false
+		}
+	}
+	return rows, single, true
+}
+
+// writeScores replies with the request's own rows of the scores tensor.
+func writeScores(w http.ResponseWriter, scores *tensor.Tensor, single bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if single {
+		json.NewEncoder(w).Encode(map[string]any{"scores": scores.F})
+		return
+	}
+	nested := make([][]float64, scores.Dim(0))
+	width := scores.Dim(1)
+	for i := range nested {
+		nested[i] = scores.F[i*width : (i+1)*width]
+	}
+	json.NewEncoder(w).Encode(map[string]any{"scores": nested})
 }
 
 // handlePredict decodes the request, rides the batcher under the client's
@@ -101,30 +208,12 @@ func (m *model) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req predictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, m.maxBody)).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
-		return
-	}
-	rows := req.Instances
-	single := false
-	if rows == nil {
-		if req.X == nil {
-			http.Error(w, fmt.Sprintf(`want {"x": [%d floats]} or {"instances": [[%d floats], ...]}`, m.dim, m.dim), http.StatusBadRequest)
-			return
-		}
-		rows, single = [][]float64{req.X}, true
-	}
-	if len(rows) == 0 {
-		http.Error(w, "no instances", http.StatusBadRequest)
+	rows, single, ok := decodeRows(w, r, m.dim, m.maxBody)
+	if !ok {
 		return
 	}
 	flat := make([]float64, 0, len(rows)*m.dim)
-	for i, row := range rows {
-		if len(row) != m.dim {
-			http.Error(w, fmt.Sprintf("instance %d has %d values, want %d", i, len(row), m.dim), http.StatusBadRequest)
-			return
-		}
+	for _, row := range rows {
 		flat = append(flat, row...)
 	}
 	out, err := m.srv.Predict(r.Context(), dcf.FromFloats(flat, len(rows), m.dim))
@@ -137,6 +226,7 @@ func (m *model) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, dcf.ErrServerClosed):
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, dcf.ErrInvalidRequest):
@@ -148,18 +238,77 @@ func (m *model) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	scores := out[0]
-	w.Header().Set("Content-Type", "application/json")
-	if single {
-		json.NewEncoder(w).Encode(map[string]any{"scores": scores.F})
+	writeScores(w, out[0], single)
+}
+
+// fleetModel fronts a fleetserve.Router with the same HTTP contract as the
+// single-process model.
+type fleetModel struct {
+	router  *fleetserve.Router
+	dim     int
+	maxBody int64
+}
+
+// handlePredict routes the request over the replica pool. The error
+// taxonomy mirrors single-process mode, with the router's retriable
+// routing failures surfacing as 503 + Retry-After so clients and load
+// balancers know to re-send rather than give up.
+func (m *fleetModel) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	nested := make([][]float64, scores.Dim(0))
-	width := scores.Dim(1)
-	for i := range nested {
-		nested[i] = scores.F[i*width : (i+1)*width]
+	rows, single, ok := decodeRows(w, r, m.dim, m.maxBody)
+	if !ok {
+		return
 	}
-	json.NewEncoder(w).Encode(map[string]any{"scores": nested})
+	flat := make([]float64, 0, len(rows)*m.dim)
+	for _, row := range rows {
+		flat = append(flat, row...)
+	}
+	out, err := m.router.Predict(r.Context(), tensor.FromFloats(flat, len(rows), m.dim))
+	switch {
+	case err == nil:
+	case r.Context().Err() != nil:
+		return
+	case errors.Is(err, serve.ErrQueueFull):
+		// Every eligible replica's queue pushed back: shed load.
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, serve.ErrInvalidRequest):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, fleetserve.ErrUnavailable), errors.Is(err, fleetserve.ErrClosed):
+		// Retriable: the pool is (momentarily) out of healthy replicas or
+		// the retry budget ran dry mid-outage.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeScores(w, out[0], single)
+}
+
+// handleFleetz reports the router's full status: per-replica breaker
+// state, occupancy, and the routing counters.
+func (m *fleetModel) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.router.Snapshot())
+}
+
+// activeReplicas counts replicas currently taking traffic.
+func (m *fleetModel) activeReplicas() int {
+	n := 0
+	for _, rs := range m.router.Snapshot().Replicas {
+		if rs.State == fleetserve.StateActive.String() {
+			n++
+		}
+	}
+	return n
 }
 
 func main() {
@@ -174,62 +323,161 @@ func main() {
 	queue := flag.Int("queue", 1024, "max queued requests before backpressure (429)")
 	workers := flag.Int("workers", 0, "kernel worker pool size per step (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown bound for in-flight HTTP requests")
+	drainNotice := flag.Duration("drain-notice", time.Second, "how long to answer 503 + Retry-After before the listener stops (lets load balancers reroute)")
+	replicas := flag.String("replicas", "", "fleet mode: comma-separated replica daemon addresses (join several with '+' for one multi-worker replica)")
+	probe := flag.Duration("probe", 500*time.Millisecond, "fleet mode: replica health-probe interval")
+	retries := flag.Int("retries", 2, "fleet mode: retry budget per request (attempts beyond the first)")
+	hedge := flag.Bool("hedge", false, "fleet mode: hedge slow requests on a second replica after the observed p99 latency")
+	stepTimeout := flag.Duration("step-timeout", 10*time.Second, "fleet mode: per-batched-step deadline (hung steps become retriable failures)")
 	flag.Parse()
 
-	m, err := buildModel(*dim, *classes, dcf.BatchOptions{
+	bopts := dcf.BatchOptions{
 		MaxBatchSize:      *batch,
 		MaxQueueDelay:     *delay,
 		MaxInFlight:       *inflight,
 		MaxQueuedRequests: *queue,
-	}, *workers)
-	if err != nil {
-		log.Fatalf("build model: %v", err)
-	}
-	if *writeCkpt != "" {
-		if err := m.sess.SaveVariables(*writeCkpt); err != nil {
-			log.Fatalf("write checkpoint: %v", err)
-		}
-		log.Printf("wrote checkpoint %s", *writeCkpt)
-		return
-	}
-	if *checkpoint != "" {
-		if err := m.sess.RestoreVariables(*checkpoint); err != nil {
-			log.Fatalf("restore checkpoint %s: %v", *checkpoint, err)
-		}
-		log.Printf("restored checkpoint %s", *checkpoint)
 	}
 
-	// The batcher snapshot rides the standard expvar page, next to
-	// cmdline/memstats: occupancy, queue delay, and steps/sec per scrape.
-	expvar.Publish("serving", expvar.Func(func() any {
-		s := m.srv.Stats()
-		return map[string]any{
-			"batches":            s.Batches,
-			"rows":               s.Rows,
-			"batched_requests":   s.BatchedRequests,
-			"rejected":           s.Rejected,
-			"canceled":           s.Canceled,
-			"dropped_canceled":   s.DroppedCanceled,
-			"errors":             s.Errors,
-			"max_batch_rows":     s.MaxBatchRows,
-			"avg_batch_rows":     s.AvgBatchRows(),
-			"avg_queue_delay_ns": int64(s.AvgQueueDelay()),
-			"max_queue_delay_ns": int64(s.QueueDelayMax),
-			"exec_total_ns":      int64(s.ExecTotal),
-			"exec_max_ns":        int64(s.ExecMax),
-			"steps_per_sec":      s.StepsPerSec(),
-			"requests_per_sec":   s.RequestsPerSec(),
-			"uptime_ns":          int64(s.Uptime),
-		}
-	}))
+	// draining flips on the shutdown signal, before the listener stops:
+	// probes and predicts get an explicit retriable 503 instead of a
+	// connection reset, in both serving modes (and in fleet mode a
+	// drained-but-alive front end is distinguishable from a dead one).
+	var draining atomic.Bool
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", m.handlePredict)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
 	mux.Handle("/metrics", expvar.Handler())
+
+	var cleanup func()
+	if *replicas != "" {
+		groups := make([][]string, 0, 8)
+		for _, g := range strings.Split(*replicas, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				groups = append(groups, strings.Split(g, "+"))
+			}
+		}
+		if len(groups) == 0 {
+			log.Fatalf("-replicas given but no addresses parsed from %q", *replicas)
+		}
+		router, err := fleetserve.New(context.Background(), fleetConfig(*dim, *classes), fleetserve.Options{
+			ProbeInterval: *probe,
+			MaxRetries:    *retries,
+			Hedge:         *hedge,
+			StepTimeout:   *stepTimeout,
+			Batch: serve.Options{
+				MaxBatchSize:      *batch,
+				MaxQueueDelay:     *delay,
+				MaxInFlight:       *inflight,
+				MaxQueuedRequests: *queue,
+			},
+		}, groups...)
+		if err != nil {
+			log.Fatalf("join replicas: %v", err)
+		}
+		fm := &fleetModel{
+			router:  router,
+			dim:     *dim,
+			maxBody: 1<<16 + int64(*batch)*int64(*dim)*32,
+		}
+		expvar.Publish("fleet", expvar.Func(func() any { return router.Snapshot() }))
+		mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+			if draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			fm.handlePredict(w, r)
+		})
+		mux.HandleFunc("/fleetz", fm.handleFleetz)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+				return
+			}
+			if fm.activeReplicas() == 0 {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"status":"no active replicas"}`, http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		cleanup = func() {
+			router.Close()
+			st := router.Snapshot()
+			log.Printf("dcfserve: fleet drained; %d requests, %d retries, %d ejections, %d readmissions",
+				st.Requests, st.Retries, st.Ejections, st.Readmissions)
+		}
+		log.Printf("dcfserve: fleet mode over %d replicas (%s)", len(groups), *replicas)
+	} else {
+		m, err := buildModel(*dim, *classes, bopts, *workers)
+		if err != nil {
+			log.Fatalf("build model: %v", err)
+		}
+		if *writeCkpt != "" {
+			if err := m.sess.SaveVariables(*writeCkpt); err != nil {
+				log.Fatalf("write checkpoint: %v", err)
+			}
+			log.Printf("wrote checkpoint %s", *writeCkpt)
+			return
+		}
+		if *checkpoint != "" {
+			if err := m.sess.RestoreVariables(*checkpoint); err != nil {
+				log.Fatalf("restore checkpoint %s: %v", *checkpoint, err)
+			}
+			log.Printf("restored checkpoint %s", *checkpoint)
+		}
+
+		// The batcher snapshot rides the standard expvar page, next to
+		// cmdline/memstats: occupancy, queue delay, and steps/sec per
+		// scrape.
+		expvar.Publish("serving", expvar.Func(func() any {
+			s := m.srv.Stats()
+			return map[string]any{
+				"batches":            s.Batches,
+				"rows":               s.Rows,
+				"batched_requests":   s.BatchedRequests,
+				"rejected":           s.Rejected,
+				"canceled":           s.Canceled,
+				"dropped_canceled":   s.DroppedCanceled,
+				"errors":             s.Errors,
+				"max_batch_rows":     s.MaxBatchRows,
+				"avg_batch_rows":     s.AvgBatchRows(),
+				"avg_queue_delay_ns": int64(s.AvgQueueDelay()),
+				"max_queue_delay_ns": int64(s.QueueDelayMax),
+				"exec_total_ns":      int64(s.ExecTotal),
+				"exec_max_ns":        int64(s.ExecMax),
+				"steps_per_sec":      s.StepsPerSec(),
+				"requests_per_sec":   s.RequestsPerSec(),
+				"uptime_ns":          int64(s.Uptime),
+			}
+		}))
+		mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+			if draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			m.handlePredict(w, r)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		cleanup = func() {
+			// Drain the batching layer: every accepted Predict completes.
+			m.srv.Close()
+			m.sess.Close()
+			s := m.srv.Stats()
+			log.Printf("dcfserve: drained; served %d requests in %d batches (avg occupancy %.1f rows)",
+				s.BatchedRequests, s.Batches, s.AvgBatchRows())
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -251,16 +499,19 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("dcfserve: shutting down (draining in-flight requests up to %v)", *drain)
+	// Graceful drain, phase 1: keep answering, but with 503 + Retry-After,
+	// so pollers and load balancers reroute before the socket goes away.
+	draining.Store(true)
+	log.Printf("dcfserve: draining (503 + Retry-After for %v, then stopping the listener; in-flight bound %v)", *drainNotice, *drain)
+	noticeCtx, noticeCancel := context.WithTimeout(context.Background(), *drainNotice)
+	<-noticeCtx.Done()
+	noticeCancel()
+	// Phase 2: stop the listener, let in-flight HTTP requests finish.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("dcfserve: http shutdown: %v", err)
 	}
-	// Then drain the batching layer: every accepted Predict completes.
-	m.srv.Close()
-	m.sess.Close()
-	s := m.srv.Stats()
-	log.Printf("dcfserve: drained; served %d requests in %d batches (avg occupancy %.1f rows)",
-		s.BatchedRequests, s.Batches, s.AvgBatchRows())
+	// Phase 3: drain the batching/routing layer.
+	cleanup()
 }

@@ -35,6 +35,35 @@
 // -exp serving` for the unbatched concurrency sweep, and `cmd/dcfbench
 // -exp batchserve` for the batched latency/throughput frontier.
 //
+// # Replicated serving
+//
+// internal/fleetserve extends the serving story across processes: a
+// failure-aware router fronts N model replicas, each an independently
+// registered graph on cluster.Worker daemons with its own request batcher,
+// so a kill -9'd daemon costs capacity — never availability or
+// correctness. The router implements least-loaded dispatch over the
+// batchers' live occupancy gauges, a bounded retry budget that reroutes
+// failed attempts to replicas the request has not tried, per-replica
+// circuit breakers (consecutive-failure trip, jittered-exponential
+// readmission probes, half-open single-probe recovery), health-checked
+// membership (a dead daemon is ejected within one probe interval), and
+// optional hedged requests after the observed p99 latency with
+// first-response-wins loser cancellation. Replicas are stateless by
+// contract: joining and readmission re-register the graph, re-push
+// Config.Init, and warm up before any traffic — the serving mirror of the
+// training stack's checkpoint/restore.
+//
+// `dcfserve -replicas addr1,addr2,...` serves the same HTTP API over a
+// replica fleet (plus /fleetz for per-replica breaker state and routing
+// counters); retriable routing failures map to 503 + Retry-After and
+// queue backpressure to 429. `cmd/dcfbench -exp fleetserve` sweeps
+// replica counts {1,2,4} in closed and open loop with one replica killed
+// and restarted mid-run, and the fleet-chaos CI job replays the same
+// scenario across real OS processes under sustained HTTP load. Shared
+// retry hygiene lives in internal/backoff (Jitter, Exp) and is enforced
+// by the dcfvet backoffjitter analyzer: no fixed-duration sleeps in retry
+// loops.
+//
 // # Distributed execution
 //
 // Dynamic control flow runs distributed (§3, §4.4): partitions on

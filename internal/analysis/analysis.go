@@ -153,5 +153,6 @@ func All() []*Analyzer {
 		TestSleep,
 		CtxThread,
 		PanicPath,
+		BackoffJitter,
 	}
 }

@@ -120,6 +120,8 @@ func TestTestSleepFixture(t *testing.T)    { checkAnalyzer(t, "testsleep") }
 func TestCtxThreadFixture(t *testing.T)    { checkAnalyzer(t, "ctxthread") }
 func TestPanicPathFixture(t *testing.T)    { checkAnalyzer(t, "panicpath") }
 
+func TestBackoffJitterFixture(t *testing.T) { checkAnalyzer(t, "backoffjitter") }
+
 // TestUnknownAnalyzersUnmarked guards against typos in WANT markers.
 func TestUnknownAnalyzersUnmarked(t *testing.T) {
 	known := map[string]bool{}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// BackoffJitter bans fixed-duration waits inside retry loops in non-test
+// code. A constant time.Sleep (or time.After arm) in a loop is how a fleet
+// synchronizes its own thundering herd: every client that failed together
+// retries together, forever — the PR 5 rendezvous dialer did exactly this
+// until its reconnect storm was jittered. Waits whose duration is computed
+// at runtime are fine; the analyzer only flags compile-time-constant
+// durations, because those are the ones that cannot possibly desynchronize.
+//
+// Use the shared helper instead: backoff.Jitter(d) for a one-knob interval,
+// backoff.Exp{Base, Max}.Delay(attempt) for a growing schedule. A fixed
+// in-loop wait that genuinely is not a retry (a pacing loop in a benchmark,
+// say) can be annotated "// dcfvet:allow backoffjitter=<why>".
+var BackoffJitter = &Analyzer{
+	Name: "backoffjitter",
+	Doc:  "retry loops must not sleep a fixed duration; use internal/backoff's jittered helpers",
+	Run:  runBackoffJitter,
+}
+
+func runBackoffJitter(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		// Collect loop-body extents: a wait only herds when it repeats.
+		type span struct{ lo, hi token.Pos }
+		var loops []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+			case *ast.RangeStmt:
+				loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+			}
+			return true
+		})
+		inLoop := func(p token.Pos) bool {
+			for _, s := range loops {
+				if s.lo <= p && p < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Sleep" && sel.Sel.Name != "After") {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != "time" || !inLoop(call.Pos()) {
+				return true
+			}
+			// Constant argument = every iteration (and every process built
+			// from this source) waits exactly the same span.
+			if tv, found := pass.Pkg.Info.Types[call.Args[0]]; found && tv.Value != nil {
+				pass.Reportf(call.Pos(), "fixed time.%s interval in a loop: jitter it (backoff.Jitter or backoff.Exp.Delay) so synchronized retries don't stampede", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

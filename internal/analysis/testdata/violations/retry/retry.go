@@ -1,0 +1,53 @@
+// Package retry seeds backoffjitter violations: fixed-duration waits
+// inside retry loops in non-test code.
+package retry
+
+import "time"
+
+const interval = 50 * time.Millisecond
+
+// DialForever retries with fixed sleeps — the thundering-herd shape.
+func DialForever(dial func() error) {
+	for dial() != nil {
+		time.Sleep(interval) // WANT:backoffjitter
+	}
+}
+
+// WaitLoop herds just as hard through a select arm.
+func WaitLoop(done <-chan struct{}, poke func()) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(100 * time.Millisecond): // WANT:backoffjitter
+			poke()
+		}
+	}
+}
+
+// jitter stands in for the real backoff helper (the fixture module has no
+// internal/backoff); what matters is that the duration is computed, not
+// constant.
+func jitter(d time.Duration) time.Duration { return d + d/2 }
+
+// DialJittered is the recommended shape: not flagged.
+func DialJittered(dial func() error) {
+	for dial() != nil {
+		time.Sleep(jitter(interval))
+	}
+}
+
+// OneShotWait is not in a loop: a single fixed wait cannot herd. Not
+// flagged.
+func OneShotWait() {
+	time.Sleep(interval)
+}
+
+// PacedLoop is a deliberate fixed-rate pacing loop, suppressed by
+// annotation. Not flagged.
+func PacedLoop(tickN int, step func()) {
+	for i := 0; i < tickN; i++ {
+		time.Sleep(interval) // dcfvet:allow backoffjitter=fixed-rate pacing, not a retry
+		step()
+	}
+}

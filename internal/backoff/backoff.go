@@ -1,0 +1,71 @@
+// Package backoff is the repository's one retry-delay policy: every retry
+// loop that sleeps must draw its delay here, never from a fixed constant.
+// Fixed retry intervals synchronize independent clients into waves — N
+// drivers that observe the same failure at the same moment all redial on
+// the same schedule, so a recovering daemon absorbs N simultaneous
+// connection storms forever. Jitter decorrelates them: each delay is drawn
+// uniformly from [d/2, 3d/2), so retries spread over the interval and the
+// thundering herd decays after the first round.
+//
+// The dcfvet `backoffjitter` analyzer enforces the contract mechanically:
+// a time.Sleep or time.After on a compile-time-constant duration inside a
+// non-test retry loop is a build failure.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// rng is the package-wide jitter source. A single locked source is
+// deliberate: retry loops draw rarely (they are sleeping most of the
+// time), so contention is irrelevant, and one stream keeps the draw
+// sequence easy to reason about under test.
+var rng = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// Jitter spreads one delay uniformly over [d/2, 3d/2): the mean stays d,
+// so loop authors still reason in expected totals (50 attempts x
+// Jitter(100ms) ~ 5s), but no two loops share a schedule. Non-positive
+// durations pass through unchanged.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	rng.Lock()
+	f := rng.Float64()
+	rng.Unlock()
+	return d/2 + time.Duration(f*float64(d))
+}
+
+// Exp is a jittered exponential schedule for breaker-style recovery
+// probing: attempt n waits Jitter(min(Max, Base<<n)). Base <= 0 defaults
+// to 100ms; Max <= 0 defaults to 30s.
+type Exp struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns the jittered delay for the given attempt number (0-based).
+// The un-jittered envelope doubles per attempt and saturates at Max, so a
+// replica that stays dead is probed ever more lazily but never abandoned.
+func (e Exp) Delay(attempt int) time.Duration {
+	base, max := e.Base, e.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return Jitter(d)
+}

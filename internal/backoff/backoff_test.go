@@ -1,0 +1,65 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterRange(t *testing.T) {
+	const d = 100 * time.Millisecond
+	lo, hi := d/2, d*3/2
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		got := Jitter(d)
+		if got < lo || got >= hi {
+			t.Fatalf("Jitter(%v) = %v, want in [%v, %v)", d, got, lo, hi)
+		}
+		distinct[got] = true
+	}
+	// 200 draws from a continuous range collapsing to a handful of values
+	// would mean the jitter source is broken (e.g. a constant).
+	if len(distinct) < 50 {
+		t.Fatalf("200 jitter draws produced only %d distinct values", len(distinct))
+	}
+}
+
+func TestJitterNonPositive(t *testing.T) {
+	if got := Jitter(0); got != 0 {
+		t.Fatalf("Jitter(0) = %v, want 0", got)
+	}
+	if got := Jitter(-time.Second); got != -time.Second {
+		t.Fatalf("Jitter(-1s) = %v, want -1s", got)
+	}
+}
+
+func TestExpEnvelope(t *testing.T) {
+	e := Exp{Base: 100 * time.Millisecond, Max: time.Second}
+	// Un-jittered envelope: 100ms, 200ms, 400ms, 800ms, 1s, 1s, ...
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+		time.Second,
+	}
+	for attempt, env := range want {
+		got := e.Delay(attempt)
+		if got < env/2 || got >= env*3/2 {
+			t.Fatalf("Delay(%d) = %v, want in [%v, %v)", attempt, got, env/2, env*3/2)
+		}
+	}
+}
+
+func TestExpDefaults(t *testing.T) {
+	var e Exp
+	if got := e.Delay(0); got < 50*time.Millisecond || got >= 150*time.Millisecond {
+		t.Fatalf("zero-value Exp Delay(0) = %v, want jittered around 100ms", got)
+	}
+	// A huge attempt count must saturate at the default Max (30s), not
+	// overflow into negative durations.
+	if got := e.Delay(1000); got < 15*time.Second || got >= 45*time.Second {
+		t.Fatalf("zero-value Exp Delay(1000) = %v, want jittered around 30s", got)
+	}
+}

@@ -79,6 +79,13 @@ func Summarize(rows any, res *ExperimentResult) {
 				res.StepsPerSec = r.StepsPerSec
 			}
 		}
+	case []FleetServeRow:
+		// Headline = peak routed request throughput across the sweep.
+		for _, r := range rs {
+			if r.RPS > res.StepsPerSec {
+				res.StepsPerSec = r.RPS
+			}
+		}
 	case []Table1Row:
 		// ns/op = fastest non-OOM cell's per-iteration time.
 		for _, r := range rs {

@@ -43,6 +43,13 @@ type RegisterGraph struct {
 	// worker's rendezvous deliveries (benchmark sweeps).
 	Latency   time.Duration
 	Bandwidth float64
+	// FaultSeed/FaultResetProb/FaultDropProb arm seeded probabilistic
+	// fault injection on the worker's rendezvous send path (conn resets
+	// and silent message drops; see rendezvous.Net.SetFaults) — how fleet
+	// tests exercise retry and hedging without real process kills.
+	FaultSeed      int64
+	FaultResetProb float64
+	FaultDropProb  float64
 }
 
 // RegResp acknowledges a registration.

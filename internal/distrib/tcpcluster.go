@@ -186,6 +186,12 @@ type TCPOptions struct {
 	// worker's rendezvous deliveries (benchmark sweeps on loopback).
 	Latency   time.Duration
 	Bandwidth float64
+	// FaultSeed/FaultResetProb/FaultDropProb arm seeded conn-reset and
+	// send-drop injection on every worker's rendezvous send path
+	// (rendezvous.Net.SetFaults): deterministic chaos for fleet tests.
+	FaultSeed      int64
+	FaultResetProb float64
+	FaultDropProb  float64
 	// CheckpointDir, when set, is where distributed checkpoints of this
 	// cluster's session variables are written (see internal/checkpoint's
 	// manifest layout). Required for Checkpoint/Resume.
@@ -346,6 +352,9 @@ func (f *Fleet) NewCluster(b *core.Builder, fetches []graph.Output, targets []*g
 			Workers:            opts.Workers,
 			Latency:            opts.Latency,
 			Bandwidth:          opts.Bandwidth,
+			FaultSeed:          opts.FaultSeed,
+			FaultResetProb:     opts.FaultResetProb,
+			FaultDropProb:      opts.FaultDropProb,
 		}
 	}
 	// Map each worker's session variables (nodes carrying a "var" attr in
@@ -395,6 +404,33 @@ func (c *TCPCluster) registerAll() error {
 
 // Workers returns the participating worker names in registration order.
 func (c *TCPCluster) Workers() []string { return append([]string(nil), c.workers...) }
+
+// EnsureRegistered verifies every participating worker is reachable and
+// still holds a current registration, re-registering the graph everywhere
+// when any worker's control connection was redialed since the last
+// registration (a restarted daemon comes back empty, and its data address
+// changed, so every peer's map must refresh). Every step runs through this
+// check; serving-fleet probes also call it directly to readmit a restarted
+// replica before routing traffic to it. regMu serializes concurrent
+// callers so one re-registers and the rest observe the fresh epochs.
+func (c *TCPCluster) EnsureRegistered() error {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	reRegister := false
+	for _, w := range c.workers {
+		_, epoch, err := c.fleet.client(w)
+		if err != nil {
+			return err
+		}
+		if epoch != c.registeredEpoch[w] {
+			reRegister = true
+		}
+	}
+	if reRegister {
+		return c.registerAll()
+	}
+	return nil
+}
 
 // Run executes one step (Background context).
 func (c *TCPCluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
@@ -446,27 +482,9 @@ func (c *TCPCluster) runStep(ctx context.Context, feeds map[string]*tensor.Tenso
 
 	// Reconnect path: if any worker's control conn died (daemon restart),
 	// redial and re-register everywhere — peer data addresses changed.
-	// regMu serializes concurrent steps through this check so one of them
-	// re-registers and the rest observe the fresh epochs.
-	c.regMu.Lock()
-	reRegister := false
-	for _, w := range c.workers {
-		_, epoch, err := c.fleet.client(w)
-		if err != nil {
-			c.regMu.Unlock()
-			return nil, step, fmt.Errorf("distrib: step %d: %w", step, err)
-		}
-		if epoch != c.registeredEpoch[w] {
-			reRegister = true
-		}
+	if err := c.EnsureRegistered(); err != nil {
+		return nil, step, fmt.Errorf("distrib: step %d: %w", step, err)
 	}
-	if reRegister {
-		if err := c.registerAll(); err != nil {
-			c.regMu.Unlock()
-			return nil, step, fmt.Errorf("distrib: step %d: %w", step, err)
-		}
-	}
-	c.regMu.Unlock()
 
 	wireFeeds := cluster.FeedsToWire(feeds)
 	type workerChan struct {

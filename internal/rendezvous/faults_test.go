@@ -1,0 +1,118 @@
+package rendezvous
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFaultDropLosesMessage: with dropProb 1 every remote send reports
+// success but delivers nothing — the receiver must still be reachable by a
+// later clean send once injection is disarmed.
+func TestFaultDropLosesMessage(t *testing.T) {
+	a, b := netPair(t)
+	a.SetFaults(1, 0, 1.0)
+	if err := a.Send(sendKey("wB", "lost"), netTok(1)); err != nil {
+		t.Fatalf("dropped send must report success, got %v", err)
+	}
+	// Disarm and send a different key: it must arrive even though the
+	// dropped one never will.
+	a.SetFaults(0, 0, 0)
+	if err := a.Send(sendKey("wB", "kept"), netTok(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(sendKey("wB", "kept"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Val.T.ScalarValue() != 2 {
+		t.Fatalf("got %v, want 2", got.Val.T.ScalarValue())
+	}
+	// The dropped key must not have been delivered.
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := b.Recv(sendKey("wB", "lost"), cancel); err == nil {
+		t.Fatal("dropped message was delivered")
+	}
+}
+
+// TestFaultResetRecovers: with resetProb 1 every send finds its connection
+// freshly killed, so every send exercises the evict-and-redial recovery
+// path — and must still deliver, because the peer itself is healthy.
+func TestFaultResetRecovers(t *testing.T) {
+	a, b := netPair(t)
+	// Establish the connection with a clean send first so resets have a
+	// socket to kill.
+	if err := a.Send(sendKey("wB", "boot"), netTok(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(sendKey("wB", "boot"), nil); err != nil {
+		t.Fatal(err)
+	}
+	a.SetFaults(7, 1.0, 0)
+	for i := 0; i < 10; i++ {
+		key := sendKey("wB", fmt.Sprintf("r%d", i))
+		if err := a.Send(key, netTok(float64(i))); err != nil {
+			t.Fatalf("send %d under reset injection: %v", i, err)
+		}
+		got, err := b.Recv(key, nil)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Val.T.ScalarValue() != float64(i) {
+			t.Fatalf("recv %d: got %v", i, got.Val.T.ScalarValue())
+		}
+	}
+}
+
+// TestFaultsDeterministic: the same (seed, probs) config must produce the
+// same delivered-vs-dropped pattern on independent Net pairs — that
+// determinism is what lets fleet tests assert exact router behavior.
+func TestFaultsDeterministic(t *testing.T) {
+	const sends = 32
+	pattern := func() []bool {
+		a, b := netPair(t)
+		a.SetFaults(42, 0, 0.5)
+		for i := 0; i < sends; i++ {
+			if err := a.Send(sendKey("wB", fmt.Sprintf("d%d", i)), netTok(float64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Poll the receiver until no new message has arrived for a quiet
+		// window: what arrived was delivered, the rest was dropped. (A
+		// Recv with a pre-closed cancel returns the token only if it is
+		// already there — and may still pick the cancel branch by select
+		// fairness, which the repeated passes absorb.)
+		arrived := make([]bool, sends)
+		canceled := make(chan struct{})
+		close(canceled)
+		n := 0
+		for last := time.Now(); n < sends && time.Since(last) < 500*time.Millisecond; {
+			for i := 0; i < sends; i++ {
+				if arrived[i] {
+					continue
+				}
+				if _, err := b.Recv(sendKey("wB", fmt.Sprintf("d%d", i)), canceled); err == nil {
+					arrived[i] = true
+					n++
+					last = time.Now()
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return arrived
+	}
+	p1, p2 := pattern(), pattern()
+	drops := 0
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed diverged at send %d: %v vs %v", i, p1, p2)
+		}
+		if !p1[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(p1) {
+		t.Fatalf("dropProb 0.5 over %d sends dropped %d — injection not probabilistic", len(p1), drops)
+	}
+}

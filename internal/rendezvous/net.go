@@ -3,18 +3,23 @@ package rendezvous
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/exec"
 	"repro/internal/tensor"
 )
 
 // dialAttempts x dialBackoff bounds how long a Send waits for a peer that
-// has not come up yet (peers of a cluster may start in any order).
+// has not come up yet (peers of a cluster may start in any order). Each
+// attempt's actual wait is backoff.Jitter(dialBackoff), so the expected
+// total stays dialAttempts x dialBackoff while workers booting together
+// don't redial each other in lockstep.
 const (
 	dialAttempts = 50
 	dialBackoff  = 100 * time.Millisecond
@@ -114,6 +119,15 @@ type Net struct {
 	// delivered to its scope. The cluster worker uses it to drop stragglers
 	// addressed to released steps instead of resurrecting their tables.
 	filter atomic.Value // func(scope string) bool
+
+	// Fault injection (SetFaults): a seeded RNG drawn on every remote send
+	// decides whether to drop the message or reset the connection first.
+	// Its own mutex — never n.mu or a peerConn's — so draws serialize
+	// across peers without coupling their send paths.
+	faultMu   sync.Mutex
+	faultRng  *rand.Rand
+	resetProb float64
+	dropProb  float64
 }
 
 // NewNet starts a worker's rendezvous server on addr (e.g. "127.0.0.1:0").
@@ -170,6 +184,45 @@ func (n *Net) SetFabric(latency time.Duration, bandwidth float64) {
 	defer n.mu.Unlock()
 	n.latency = latency
 	n.bandwidth = bandwidth
+}
+
+// SetFaults arms probabilistic fault injection on the remote send path,
+// extending SetFabric's latency/bandwidth shaping to the failure modes a
+// router must survive: each outbound wire message is dropped with dropProb
+// (silent loss — the receiver's Recv waits until something aborts it,
+// modeling a partition that eats packets) and, independently, the
+// established connection is reset with resetProb before the encode (the
+// encode observes a dead socket and must take the evict-and-redial
+// recovery path). Decisions come from a private RNG seeded with seed, so a
+// given (seed, probs) config yields the same drop/reset decision sequence
+// on every run — fleet tests assert router behavior against it without
+// real process kills. Both probs zero disarms injection.
+func (n *Net) SetFaults(seed int64, resetProb, dropProb float64) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	if resetProb <= 0 && dropProb <= 0 {
+		n.faultRng = nil
+		n.resetProb, n.dropProb = 0, 0
+		return
+	}
+	n.faultRng = rand.New(rand.NewSource(seed))
+	n.resetProb, n.dropProb = resetProb, dropProb
+}
+
+// drawFaults consumes one injection decision for an outbound message.
+func (n *Net) drawFaults() (drop, reset bool) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	if n.faultRng == nil {
+		return false, false
+	}
+	if n.dropProb > 0 && n.faultRng.Float64() < n.dropProb {
+		drop = true
+	}
+	if n.resetProb > 0 && n.faultRng.Float64() < n.resetProb {
+		reset = true
+	}
+	return drop, reset
 }
 
 // SetScopeFilter installs the delivery filter (nil accepts everything).
@@ -359,7 +412,7 @@ func (n *Net) dialLocked(pc *peerConn, dst string, cancel <-chan struct{}) error
 	for attempt := 0; attempt < dialAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(dialBackoff):
+			case <-time.After(backoff.Jitter(dialBackoff)):
 			case <-n.closed:
 				return fmt.Errorf("rendezvous: dial %s: closed", dst)
 			case <-cancel:
@@ -444,11 +497,22 @@ func (n *Net) send(key string, t exec.Token, cancel <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	drop, reset := n.drawFaults()
+	if drop {
+		// Injected silent loss: report success and deliver nothing, like a
+		// network that ate the segment after the local write succeeded.
+		return nil
+	}
 	// Only this peer's lock is held across dial and encode: a stalled or
 	// down peer blocks its own senders, never sends to other peers, and
 	// never Close.
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if reset && pc.conn != nil {
+		// Injected connection reset: kill the established socket so the
+		// encode below fails and exercises the evict-and-redial path.
+		pc.conn.Close()
+	}
 	if pc.enc == nil {
 		if err := n.dialLocked(pc, dst, cancel); err != nil {
 			return err

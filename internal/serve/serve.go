@@ -654,6 +654,12 @@ type Stats struct {
 	// Uptime is time since the batcher was created (steps/sec =
 	// Batches / Uptime, request throughput = BatchedRequests / Uptime).
 	Uptime time.Duration
+	// Queued/InFlightBatches are live occupancy gauges (not cumulative):
+	// requests waiting for batch formation and micro-batches currently
+	// executing at snapshot time. A fleet router reads them to rank
+	// replicas for least-loaded dispatch.
+	Queued          int
+	InFlightBatches int
 }
 
 // AvgBatchRows is mean micro-batch occupancy in rows.
@@ -694,5 +700,17 @@ func (b *Batcher) Snapshot() Stats {
 	s := b.stats
 	b.statsMu.Unlock()
 	s.Uptime = time.Since(b.start)
+	s.Queued, s.InFlightBatches = b.Load()
 	return s
+}
+
+// Load reports the live occupancy gauges alone — queued requests and
+// executing micro-batches — without copying the cumulative counters. The
+// fleet router calls it on every dispatch decision, so it stays a single
+// short critical section on the formation lock.
+func (b *Batcher) Load() (queued, inFlightBatches int) {
+	b.mu.Lock()
+	queued, inFlightBatches = b.queued, b.formed
+	b.mu.Unlock()
+	return queued, inFlightBatches
 }
