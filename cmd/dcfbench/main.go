@@ -72,9 +72,11 @@ func run1() int {
 	jsonOut := flag.String("json", "", "write machine-readable results (rows, elapsed ns, allocs, steps/sec) to this file")
 	workers := flag.Int("workers", 0, "kernel worker pool size per step (0 = default, -1 = legacy goroutine-per-kernel)")
 	fuse := flag.Bool("fuse", false, "fuse elementwise chains in every experiment graph before execution")
+	traceOut := flag.String("trace", "", "tcpdist: trace one distributed step and write the merged Chrome trace JSON here")
 	flag.Parse()
 	bench.Workers = *workers
 	bench.Fuse = *fuse
+	bench.TraceOut = *traceOut
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -17,8 +17,17 @@
 //	                (at most -batch instances per request; more is a 400)
 //	GET  /healthz   liveness (200 once serving; 503 + Retry-After while
 //	                draining or when no replica is available)
-//	GET  /metrics   expvar JSON including the "serving" batcher snapshot
-//	                (batches, occupancy, queue delay, exec latency)
+//	GET  /metrics   Prometheus text exposition: process-wide families
+//	                (exec_*, tensor_pool_*) plus the mode's own — the
+//	                batcher's serve_* in single-process mode, the router's
+//	                fleet_* in fleet mode
+//	GET  /debug/vars    expvar JSON including the "serving" batcher snapshot
+//	                    (batches, occupancy, queue delay, exec latency)
+//	GET  /debug/pprof/  standard Go profiling endpoints
+//	GET  /debug/trace?steps=N   single-process mode: run N traced probe
+//	                steps and return one Chrome trace-event JSON document
+//	                (load in Perfetto); fleet mode answers 501 — trace the
+//	                replica daemons' own /debug/trace instead
 //	GET  /fleetz    fleet mode only: the router's full status — per-replica
 //	                breaker state, occupancy, and routing counters
 //
@@ -57,8 +66,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -68,15 +79,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleetserve"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // model bundles the session and batched server for one served signature.
 type model struct {
 	sess *dcf.Session
 	srv  *dcf.Server
-	dim  int
+	// scores is the served output tensor, kept so /debug/trace can drive
+	// traced probe steps through the same subgraph Predict serves.
+	scores dcf.Tensor
+	dim    int
 	// maxBody bounds /predict request bodies: the largest legitimate
 	// payload is one MaxBatchSize×dim instances list (~25 JSON bytes per
 	// float), plus slack. Timeouts bound time; this bounds bytes.
@@ -110,9 +126,56 @@ func buildModel(dim, classes int, opts dcf.BatchOptions, workers int) (*model, e
 	return &model{
 		sess:    sess,
 		srv:     srv,
+		scores:  scores,
 		dim:     dim,
 		maxBody: 1<<16 + int64(opts.MaxBatchSize)*int64(dim)*32,
 	}, nil
+}
+
+// handleDebugTrace runs N traced probe steps (zero-filled single-row
+// feeds through the served subgraph) and replies with one merged Chrome
+// trace-event JSON document — the single-process analogue of the worker
+// daemon's /debug/trace, which snapshots live steps instead.
+func (m *model) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	n := 1
+	if s := r.URL.Query().Get("steps"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 || v > 64 {
+			http.Error(w, "steps must be an integer in [1, 64]", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	parts := make([]trace.Part, 0, n)
+	for i := 0; i < n; i++ {
+		_, md, err := m.sess.RunCtx(r.Context(), dcf.RunOptions{
+			Feeds:   dcf.Feeds{"x": tensor.Zeros(1, m.dim)},
+			Fetches: []dcf.Tensor{m.scores},
+			Trace:   true,
+		})
+		if err != nil {
+			http.Error(w, fmt.Sprintf("probe step %d: %v", i, err), http.StatusInternalServerError)
+			return
+		}
+		tr := md.StepTrace
+		if tr == nil {
+			http.Error(w, "probe step returned no trace", http.StatusInternalServerError)
+			return
+		}
+		parts = append(parts, trace.Part{
+			PID:    i + 1,
+			Name:   fmt.Sprintf("probe step %d", i),
+			Base:   tr.Base().UnixNano(),
+			Events: tr.Events(),
+		})
+	}
+	js, err := trace.MergeChrome(parts)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("merge trace: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(js)
 }
 
 // fleetConfig builds the replicated-serving model: scores =
@@ -345,7 +408,15 @@ func main() {
 	var draining atomic.Bool
 
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", expvar.Handler())
+	// The expvar page lives at its conventional path; /metrics is the
+	// Prometheus text exposition, registered per serving mode below so it
+	// includes the mode's own instrument registry.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	var cleanup func()
 	if *replicas != "" {
@@ -379,6 +450,10 @@ func main() {
 			maxBody: 1<<16 + int64(*batch)*int64(*dim)*32,
 		}
 		expvar.Publish("fleet", expvar.Func(func() any { return router.Snapshot() }))
+		mux.Handle("/metrics", metrics.Handler(metrics.Default(), router.Metrics()))
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "step tracing is per-process: hit /debug/trace on a replica daemon's health address instead", http.StatusNotImplemented)
+		})
 		mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
 			if draining.Load() {
 				w.Header().Set("Retry-After", "1")
@@ -428,9 +503,11 @@ func main() {
 			log.Printf("restored checkpoint %s", *checkpoint)
 		}
 
-		// The batcher snapshot rides the standard expvar page, next to
-		// cmdline/memstats: occupancy, queue delay, and steps/sec per
-		// scrape.
+		mux.Handle("/metrics", metrics.Handler(metrics.Default(), m.srv.Metrics()))
+		mux.HandleFunc("/debug/trace", m.handleDebugTrace)
+		// The batcher snapshot also rides the expvar page at /debug/vars,
+		// next to cmdline/memstats: occupancy, queue delay, and steps/sec
+		// per scrape.
 		expvar.Publish("serving", expvar.Func(func() any {
 			s := m.srv.Stats()
 			return map[string]any{

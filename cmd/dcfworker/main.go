@@ -9,9 +9,13 @@
 //	dcfworker -worker wA -listen 127.0.0.1:7401 -health 127.0.0.1:8401
 //	dcfworker -worker wB -listen 127.0.0.1:7402 -health 127.0.0.1:8402
 //
-// -health serves an HTTP readiness probe: GET /healthz answers 200 while
-// the daemon accepts work (CI and orchestrators poll it instead of
-// guessing at startup timing).
+// -health serves the daemon's HTTP observability surface: GET /healthz
+// answers 200 while the daemon accepts work (CI and orchestrators poll it
+// instead of guessing at startup timing), GET /metrics is the Prometheus
+// text exposition of the process-wide registry (exec_*, cluster_*,
+// tensor_pool_* families), /debug/pprof/ the standard Go profiles, and
+// GET /debug/trace?steps=N arms tracing for the next N steps this worker
+// runs and returns their merged Chrome trace JSON.
 //
 // Driver mode (-drive) dials the daemons, partitions a while-loop whose
 // body threads a counter through every worker each iteration (a Send/Recv
@@ -20,6 +24,13 @@
 // rendezvous scope, verifying every result:
 //
 //	dcfworker -drive -addrs 127.0.0.1:7401,127.0.0.1:7402 -steps 100 -iters 10
+//
+// With -trace the driver additionally traces the first step across the
+// whole fleet and writes one merged Chrome trace-event JSON file (open it
+// in Perfetto): every worker's spans on their own process track, with
+// flow arrows linking each cross-worker Send to its Recv:
+//
+//	dcfworker -drive -addrs ... -steps 10 -trace /tmp/step.trace.json
 //
 // With -checkpoint-dir the driver runs the stateful variant under the
 // fault-tolerant job layer: the loop result accumulates into a session
@@ -66,13 +77,14 @@ func main() {
 	ckDir := flag.String("checkpoint-dir", "", "driver: run the fault-tolerant stateful job, checkpointing here")
 	ckEvery := flag.Uint64("checkpoint-every", 50, "driver: checkpoint every n-th step")
 	maxRetries := flag.Int("max-retries", 8, "driver: consecutive rollback attempts before the job fails")
+	traceOut := flag.String("trace", "", "driver: trace the first step and write the merged Chrome trace JSON here")
 	flag.Parse()
 
 	if *drive {
 		if *ckDir != "" {
 			os.Exit(runJobDriver(strings.Split(*addrs, ","), *steps, *iters, *ckDir, *ckEvery, *maxRetries))
 		}
-		os.Exit(runDriver(strings.Split(*addrs, ","), *steps, *iters))
+		os.Exit(runDriver(strings.Split(*addrs, ","), *steps, *iters, *traceOut))
 	}
 	os.Exit(runDaemon(*worker, *listen, *data, *health))
 }
@@ -101,7 +113,7 @@ func runDaemon(name, ctrlAddr, dataAddr, healthAddr string) int {
 	return 0
 }
 
-func runDriver(addrs []string, steps, iters int) int {
+func runDriver(addrs []string, steps, iters int, traceOut string) int {
 	if len(addrs) == 0 || addrs[0] == "" {
 		fmt.Fprintln(os.Stderr, "driver mode needs -addrs")
 		return 1
@@ -126,7 +138,22 @@ func runDriver(addrs []string, steps, iters int) int {
 	limit := tensor.Scalar(float64(iters))
 	start := time.Now()
 	for s := 1; s <= steps; s++ {
-		vals, err := tc.Run(map[string]*tensor.Tensor{"limit": limit})
+		var vals []*tensor.Tensor
+		if s == 1 && traceOut != "" {
+			// Trace the first step end to end: every worker records its
+			// spans, the driver pulls them back and merges one timeline.
+			var js []byte
+			vals, js, err = tc.RunTraced(context.Background(), map[string]*tensor.Tensor{"limit": limit})
+			if err == nil {
+				if werr := os.WriteFile(traceOut, js, 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "write trace: %v\n", werr)
+					return 1
+				}
+				fmt.Printf("driver: wrote step 1 trace (%d bytes) to %s\n", len(js), traceOut)
+			}
+		} else {
+			vals, err = tc.Run(map[string]*tensor.Tensor{"limit": limit})
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "step %d: %v\n", s, err)
 			return 1

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -141,6 +142,11 @@ func (sv *Server) PredictDetailed(ctx context.Context, args ...*Value) ([]*Value
 
 // Stats snapshots the server's batching counters.
 func (sv *Server) Stats() ServeStats { return sv.b.Snapshot() }
+
+// Metrics returns the server's batching metrics registry (the serve_*
+// families), for export on a Prometheus /metrics page alongside
+// metrics.Default(). See metrics.Handler.
+func (sv *Server) Metrics() *metrics.Registry { return sv.b.Metrics() }
 
 // Callable returns the underlying compiled signature (the unbatched
 // direct path, useful for comparison and for single-shot warmup).

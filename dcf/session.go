@@ -159,6 +159,10 @@ type RunOptions struct {
 	Fetches []Tensor
 	// Targets are ops to execute without fetching (e.g. train steps).
 	Targets []Op
+	// Trace records one span per node execution into the returned
+	// RunMetadata's StepTrace (render with its ChromeTrace or ASCII
+	// methods). Off by default: the untraced step path stays zero-overhead.
+	Trace bool
 }
 
 // RunCtx executes the subgraph needed for the fetches and targets under a
@@ -178,7 +182,7 @@ func (s *Session) RunCtx(ctx context.Context, opts RunOptions) ([]*Value, RunMet
 	if err := s.sleepOverhead(ctx); err != nil {
 		return nil, RunMetadata{}, err
 	}
-	return s.s.RunCtx(ctx, core.RunOptions{Feeds: opts.Feeds, Fetches: unwrap(opts.Fetches), Targets: opNodes(opts.Targets)})
+	return s.s.RunCtx(ctx, core.RunOptions{Feeds: opts.Feeds, Fetches: unwrap(opts.Fetches), Targets: opNodes(opts.Targets), Trace: opts.Trace})
 }
 
 // opNodes collects the non-nil target nodes.

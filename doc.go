@@ -31,7 +31,7 @@
 //
 // See examples/serving for an HTTP model server over the batched path,
 // cmd/dcfserve for the production server (JSON predict API, checkpoint
-// restore, /healthz, expvar /metrics, graceful drain), `cmd/dcfbench
+// restore, /healthz, Prometheus /metrics, graceful drain), `cmd/dcfbench
 // -exp serving` for the unbatched concurrency sweep, and `cmd/dcfbench
 // -exp batchserve` for the batched latency/throughput frontier.
 //
@@ -146,6 +146,38 @@
 //     tests, exported entry points must thread context.Context, and no
 //     panic() in executor hot paths. CI runs dcfvet over ./... and
 //     self-tests it against a seeded-violation fixture module.
+//
+// # Observability
+//
+// One metrics layer and one tracing model span every runtime layer
+// (internal/metrics and internal/trace, each with a README):
+//
+//   - Metrics: a dependency-free registry of atomic counters, gauges, and
+//     log-bucketed latency histograms. The executor, tensor pool, request
+//     batcher, cluster worker, and fleet router all register named
+//     instruments (exec_*, tensor_pool_*, serve_*, cluster_*, fleet_*);
+//     metrics.Handler serves any set of registries as Prometheus text
+//     exposition or expvar-style JSON. Instrument names are vet-enforced
+//     (the metricname analyzer): snake_case with a unit suffix, counters
+//     ending in _total.
+//   - Per-step tracing: dcf.RunOptions{Trace: true} records one span per
+//     node execution into that run's private RunMetadata.StepTrace —
+//     opt-in per step, zero-overhead when off (the alloc-budget test
+//     pins this). Render with ChromeTrace (Perfetto-loadable) or ASCII.
+//   - Distributed tracing: TCPCluster.RunTraced runs one step with
+//     tracing on every worker and merges the per-worker timelines into a
+//     single Chrome trace — each worker on its own process track, with
+//     flow arrows linking every cross-worker Send to its Recv
+//     (rendezvous-key-derived correlation ids, no clock agreement
+//     required beyond a per-part base offset).
+//
+// Surfaces: dcfworker's -health address serves /metrics, /debug/pprof,
+// and /debug/trace?steps=N (arm tracing for the next N live steps and get
+// their merged trace); the driver's -trace flag writes a fleet-wide
+// traced step to a file; dcfserve serves /metrics, /debug/vars,
+// /debug/pprof, and /debug/trace?steps=N (traced probe steps);
+// `dcfbench -exp tcpdist -trace out.json` captures a traced distributed
+// step from the benchmark fleet.
 //
 // # Runtime performance knobs
 //

@@ -154,5 +154,6 @@ func All() []*Analyzer {
 		CtxThread,
 		PanicPath,
 		BackoffJitter,
+		MetricName,
 	}
 }

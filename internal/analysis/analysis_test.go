@@ -122,6 +122,8 @@ func TestPanicPathFixture(t *testing.T)    { checkAnalyzer(t, "panicpath") }
 
 func TestBackoffJitterFixture(t *testing.T) { checkAnalyzer(t, "backoffjitter") }
 
+func TestMetricNameFixture(t *testing.T) { checkAnalyzer(t, "metricname") }
+
 // TestUnknownAnalyzersUnmarked guards against typos in WANT markers.
 func TestUnknownAnalyzersUnmarked(t *testing.T) {
 	known := map[string]bool{}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the repository's metric naming convention at every
+// instrument-creation site: any constant string passed to a Counter,
+// Gauge, or Histogram method on a metrics Registry must be snake_case and
+// must end in a unit suffix, with counters specifically ending in _total
+// (the Prometheus convention for monotonic counts). Names are API: a
+// misspelled or camelCased metric ships silently and then breaks every
+// dashboard that queries it, so the grep-rule lives here instead of in
+// review memory. Dynamically computed names can't be checked and pass
+// through unflagged.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names must be snake_case with a unit suffix (_total, _ns, _bytes, _rows, _depth, _count, _ratio, _seconds); counters must end in _total",
+	Run:  runMetricName,
+}
+
+// metricUnitSuffixes are the approved trailing units. _total is counter-only.
+var metricUnitSuffixes = []string{"_total", "_ns", "_bytes", "_rows", "_depth", "_count", "_ratio", "_seconds"}
+
+// snakeRE: lowercase words joined by single underscores, starting with a
+// letter (so "exec_steps_total" passes; "ExecSteps", "exec__steps", and
+// "2fast" do not).
+var snakeRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			// Tests create scratch registries with deliberately colliding
+			// or throwaway names; only shipped instruments are API.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := sel.Sel.Name
+			if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
+				return true
+			}
+			if !isRegistryRecv(pass, sel.X) {
+				return true
+			}
+			tv, found := pass.Pkg.Info.Types[call.Args[0]]
+			if !found || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic name: nothing to check statically
+			}
+			name := constant.StringVal(tv.Value)
+			if !snakeRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q is not snake_case (want lowercase words joined by single underscores)", name)
+				return true
+			}
+			unit := ""
+			for _, s := range metricUnitSuffixes {
+				if strings.HasSuffix(name, s) {
+					unit = s
+					break
+				}
+			}
+			switch {
+			case unit == "":
+				pass.Reportf(call.Args[0].Pos(), "metric name %q has no unit suffix (want one of %s)", name, strings.Join(metricUnitSuffixes, ", "))
+			case kind == "Counter" && unit != "_total":
+				pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total (monotonic counts read as totals)", name)
+			case kind != "Counter" && unit == "_total":
+				pass.Reportf(call.Args[0].Pos(), "%s %q must not end in _total (that suffix promises a monotonic counter)", strings.ToLower(kind), name)
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryRecv reports whether the expression's type (possibly through
+// pointers) is a named type called Registry — the metrics registry, or a
+// fixture standing in for it.
+func isRegistryRecv(pass *Pass, x ast.Expr) bool {
+	tv, found := pass.Pkg.Info.Types[x]
+	if !found || tv.Type == nil {
+		return false
+	}
+	named, ok := deref(tv.Type).(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Registry"
+}

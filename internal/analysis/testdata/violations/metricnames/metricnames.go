@@ -1,0 +1,34 @@
+// Package metricnames seeds metricname violations: instrument names that
+// break the snake_case + unit-suffix convention. Registry stands in for
+// the real internal/metrics registry — the analyzer resolves the receiver
+// by named type, so the fixture module needs no metrics import.
+package metricnames
+
+// Registry mirrors the real registry's instrument constructors.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Registry   { return r }
+func (r *Registry) Gauge(name string) *Registry     { return r }
+func (r *Registry) Histogram(name string) *Registry { return r }
+
+// NotARegistry proves the analyzer keys on the receiver type, not the
+// method name: its Counter calls are never flagged.
+type NotARegistry struct{}
+
+func (n *NotARegistry) Counter(name string) int { return 0 }
+
+// Instruments exercises every rule.
+func Instruments(r *Registry, dyn string) {
+	r.Counter("steps_total")          // conventional counter: not flagged
+	r.Gauge("queue_depth")            // conventional gauge: not flagged
+	r.Histogram("step_duration_ns")   // conventional histogram: not flagged
+	r.Counter("StepsTotal")           // WANT:metricname
+	r.Counter("steps__done_total")    // WANT:metricname
+	r.Counter("steps_done")           // WANT:metricname
+	r.Counter("steps_done_ns")        // WANT:metricname
+	r.Gauge("queue_total")            // WANT:metricname
+	r.Histogram("latency")            // WANT:metricname
+	r.Counter(dyn)                    // dynamic name: not checkable, not flagged
+	r.Counter("allowed_weird_name")   // dcfvet:allow metricname=legacy dashboard key
+	(&NotARegistry{}).Counter("Bad!") // wrong receiver type: not flagged
+}

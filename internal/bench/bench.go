@@ -28,6 +28,10 @@ var (
 	// Fuse compiles elementwise chains into FusedElementwise nodes in
 	// every experiment graph before execution.
 	Fuse bool
+	// TraceOut, when non-empty, makes the tcpdist experiment trace one
+	// distributed step (its first sweep cell) and write the merged Chrome
+	// trace-event JSON to this path (dcfbench's -trace flag).
+	TraceOut string
 )
 
 // maybeFuse applies the elementwise-fusion pass when the knob is set.

@@ -13,14 +13,20 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/distrib"
 	"repro/internal/tensor"
 )
+
+// traceWritten makes TraceOut one-shot: only the sweep's first cell pays
+// the traced step, later cells measure the untraced fast path.
+var traceWritten bool
 
 // TCPDistRow is one cell of the sweep.
 type TCPDistRow struct {
@@ -96,6 +102,16 @@ func runTCPDistCase(nWorkers int, latency time.Duration, cfg TCPDistConfig) (TCP
 	feeds := map[string]*tensor.Tensor{"limit": tensor.Scalar(float64(cfg.Iters))}
 	if _, err := tc.Run(feeds); err != nil {
 		return row, fmt.Errorf("warm-up: %w", err)
+	}
+	if TraceOut != "" && !traceWritten {
+		traceWritten = true
+		_, js, err := tc.RunTraced(context.Background(), feeds)
+		if err != nil {
+			return row, fmt.Errorf("traced step: %w", err)
+		}
+		if err := os.WriteFile(TraceOut, js, 0o644); err != nil {
+			return row, fmt.Errorf("write trace: %w", err)
+		}
 	}
 	d, err := timeIt(func() error {
 		for s := 0; s < cfg.Steps; s++ {

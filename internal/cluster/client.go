@@ -28,6 +28,7 @@ type Client struct {
 	regCh   chan *RegResp
 	ckptCh  chan *CheckpointResp
 	restCh  chan *RestoreResp
+	traceCh chan *TraceResp
 	helloCh chan *HelloResp
 	err     error
 	done    chan struct{}
@@ -161,6 +162,8 @@ func (c *Client) fail(err error) {
 	c.ckptCh = nil
 	rest := c.restCh
 	c.restCh = nil
+	tr := c.traceCh
+	c.traceCh = nil
 	close(c.done)
 	c.pmu.Unlock()
 	for k, ch := range pending {
@@ -174,6 +177,9 @@ func (c *Client) fail(err error) {
 	}
 	if rest != nil {
 		rest <- &RestoreResp{Err: err.Error()}
+	}
+	if tr != nil {
+		tr <- &TraceResp{Err: err.Error()}
 	}
 }
 
@@ -216,6 +222,14 @@ func (c *Client) readLoop() {
 			c.pmu.Unlock()
 			if ch != nil {
 				ch <- env.Restore
+			}
+		case env.Trace != nil:
+			c.pmu.Lock()
+			ch := c.traceCh
+			c.traceCh = nil
+			c.pmu.Unlock()
+			if ch != nil {
+				ch <- env.Trace
 			}
 		case env.Step != nil:
 			k := stepKey{gid: env.Step.GraphID, step: env.Step.Step}
@@ -300,6 +314,30 @@ func (c *Client) Restore(gid uint64, vars []VarSnapshot) error {
 		return fmt.Errorf("cluster: restore on %s: %s", c.workerLabel(), resp.Err)
 	}
 	return nil
+}
+
+// Trace pulls the worker's span timeline for a traced step (one that ran
+// with StepReq.Trace set). Call it after the step's response has arrived.
+func (c *Client) Trace(gid, step uint64) (*TraceResp, error) {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	ch := make(chan *TraceResp, 1)
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.traceCh = ch
+	c.pmu.Unlock()
+	if err := c.write(&Envelope{Trace: &TraceReq{GraphID: gid, Step: step}}); err != nil {
+		return nil, err
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: trace on %s: %s", c.workerLabel(), resp.Err)
+	}
+	return resp, nil
 }
 
 // StartStep launches a step; the response (values or error) arrives on the

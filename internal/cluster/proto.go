@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // The control protocol is a stream of gob-encoded envelopes on one TCP
@@ -68,6 +70,10 @@ type StepReq struct {
 	// stragglers addressed to them are discarded. It rides on the next
 	// step instead of its own round trip.
 	ReleaseThrough uint64
+	// Trace asks the worker to record a per-node execution trace of this
+	// step; the driver pulls it afterwards with TraceReq and merges the
+	// per-worker timelines into one Chrome trace file.
+	Trace bool
 }
 
 // StepResp reports one step's outcome: the worker's fetch values in
@@ -139,6 +145,26 @@ type RestoreResp struct {
 	Err     string
 }
 
+// TraceReq pulls the per-node execution trace a worker recorded for one
+// traced step (StepReq.Trace). Legal only after the step's StepResp has
+// arrived; workers keep only a bounded window of recent step traces.
+type TraceReq struct {
+	GraphID uint64
+	Step    uint64
+}
+
+// TraceResp carries one worker's span timeline for a traced step. Base is
+// the worker-local wall-clock origin of the spans (UnixNano); the merger
+// aligns all workers onto the earliest base.
+type TraceResp struct {
+	GraphID uint64
+	Step    uint64
+	Worker  string
+	Base    int64
+	Spans   []trace.Event
+	Err     string
+}
+
 // Envelope is one driver -> worker request.
 type Envelope struct {
 	Hello   *HelloReq
@@ -148,6 +174,7 @@ type Envelope struct {
 	Release *ReleaseReq
 	Ckpt    *CheckpointReq
 	Restore *RestoreReq
+	Trace   *TraceReq
 }
 
 // RespEnvelope is one worker -> driver response.
@@ -157,6 +184,7 @@ type RespEnvelope struct {
 	Step    *StepResp
 	Ckpt    *CheckpointResp
 	Restore *RestoreResp
+	Trace   *TraceResp
 }
 
 // ScopeName is the rendezvous scope of one (graph, step): the per-step

@@ -6,19 +6,38 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/rendezvous"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
 var debugCluster = os.Getenv("CLUSTER_DEBUG") != ""
+
+// Worker-daemon step metrics on the process registry (exported by the
+// health server's /metrics endpoint).
+var (
+	metricClusterSteps  = metrics.Default().Counter("cluster_steps_total")
+	metricClusterTraces = metrics.Default().Counter("cluster_traces_total")
+	metricStepDuration  = metrics.Default().Histogram("cluster_step_duration_ns")
+)
+
+// traceWindow bounds how many recent step traces a registration retains for
+// TraceReq pulls (a driver asks right after the step; anything older is a
+// leak, not a debugging aid).
+const traceWindow = 8
 
 // Worker is the generic cluster daemon: one OS process hosting any number of
 // registered graphs, executing its partitions step by step against cached
@@ -36,6 +55,17 @@ type Worker struct {
 	healthSrv *http.Server
 	closed    bool
 	wg        sync.WaitGroup
+
+	// traceArm counts steps still to force-trace (the /debug/trace
+	// endpoint); each armed step delivers its finished tracer to traceCh.
+	traceArm atomic.Int64
+	traceCh  chan tracedStep
+}
+
+// tracedStep is one armed step's finished trace (see /debug/trace).
+type tracedStep struct {
+	step uint64
+	tr   *trace.Tracer
 }
 
 // workerGraph is one cached registration: the rebuilt graph, one compiled
@@ -56,6 +86,7 @@ type workerGraph struct {
 	mu       sync.Mutex
 	steps    map[uint64]context.CancelFunc // in-flight steps
 	released uint64                        // scopes of steps <= released are dropped
+	traces   map[uint64]*trace.Tracer      // recent traced steps (traceWindow)
 }
 
 // NewWorker starts a worker daemon: a control listener on ctrlAddr and a
@@ -72,11 +103,12 @@ func NewWorker(name, ctrlAddr, dataAddr string) (*Worker, error) {
 		return nil, fmt.Errorf("cluster: listen %s: %w", ctrlAddr, err)
 	}
 	w := &Worker{
-		name:   name,
-		ctrl:   ln,
-		rv:     rv,
-		graphs: map[uint64]*workerGraph{},
-		conns:  map[net.Conn]struct{}{},
+		name:    name,
+		ctrl:    ln,
+		rv:      rv,
+		graphs:  map[uint64]*workerGraph{},
+		conns:   map[net.Conn]struct{}{},
+		traceCh: make(chan tracedStep, traceWindow),
 	}
 	// Deliveries addressed to released steps (or released graphs) are
 	// stragglers: drop them instead of resurrecting their scope tables.
@@ -120,6 +152,13 @@ func (w *Worker) ServeHealth(addr string) (string, error) {
 		}
 		fmt.Fprintf(rw, "ok %s graphs=%d scopes=%d\n", w.name, graphs, w.rv.ScopeCount())
 	})
+	mux.Handle("/metrics", metrics.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", w.handleDebugTrace)
 	srv := &http.Server{Handler: mux}
 	w.mu.Lock()
 	if w.closed {
@@ -334,6 +373,11 @@ func (w *Worker) handleConn(conn net.Conn) {
 				fmt.Printf("[%s] restore req g%d (%d vars)\n", w.name, env.Restore.GraphID, len(env.Restore.Vars))
 			}
 			send(&RespEnvelope{Restore: w.restoreGraph(env.Restore)})
+		case env.Trace != nil:
+			if debugCluster {
+				fmt.Printf("[%s] trace req g%d s%d\n", w.name, env.Trace.GraphID, env.Trace.Step)
+			}
+			send(&RespEnvelope{Trace: w.traceGraph(env.Trace)})
 		case env.Release != nil:
 			w.releaseGraph(env.Release.GraphID, fmt.Errorf("cluster: graph released"))
 		}
@@ -463,6 +507,7 @@ func (w *Worker) register(rg *RegisterGraph, owner net.Conn) error {
 		sessRes:  ops.NewResources(),
 		owner:    owner,
 		steps:    map[uint64]context.CancelFunc{},
+		traces:   map[uint64]*trace.Tracer{},
 	}
 	w.mu.Lock()
 	old := w.graphs[rg.GraphID]
@@ -536,6 +581,11 @@ func (w *Worker) abortGraphSteps(gid uint64, g *workerGraph, cause error) {
 // kernel pool, coordination only through the (step-scoped) rendezvous. The
 // first partition failure aborts the scope so sibling partitions drain.
 func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *StepResp {
+	stepStart := time.Now()
+	defer func() {
+		metricClusterSteps.Inc()
+		metricStepDuration.Observe(time.Since(stepStart).Nanoseconds())
+	}()
 	resp := &StepResp{GraphID: req.GraphID, Step: req.Step}
 	feeds, err := FeedsFromWire(req.Feeds)
 	if err != nil {
@@ -544,6 +594,28 @@ func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *Ste
 	}
 	scope := ScopeName(req.GraphID, req.Step)
 	rv := w.rv.Scope(scope)
+
+	// Trace when the driver asked (StepReq.Trace) or the /debug/trace
+	// endpoint armed forced tracing. One tracer spans every partition of the
+	// step; partitions write to distinct streams (TraceStream = device).
+	armed := false
+	var tracer *trace.Tracer
+	if !req.Trace {
+		armed = w.armTraced()
+	}
+	if req.Trace || armed {
+		tracer = trace.New()
+		metricClusterTraces.Inc()
+		defer func() {
+			w.storeTrace(g, req.Step, tracer)
+			if armed {
+				select {
+				case w.traceCh <- tracedStep{step: req.Step, tr: tracer}:
+				default: // nobody is waiting anymore; drop
+				}
+			}
+		}()
+	}
 
 	var pool *exec.Pool
 	if g.workers != exec.WorkersSpawn {
@@ -574,6 +646,8 @@ func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *Ste
 				ParallelIterations: g.parallel,
 				Workers:            g.workers,
 				Pool:               pool,
+				Trace:              tracer,
+				TraceStream:        dev,
 			})
 			if err != nil {
 				results <- devResult{dev: dev, err: err}
@@ -611,4 +685,133 @@ func (w *Worker) runStep(g *workerGraph, req *StepReq, ctx context.Context) *Ste
 		}
 	}
 	return resp
+}
+
+// armTraced consumes one /debug/trace arming, if any remain.
+func (w *Worker) armTraced() bool {
+	for {
+		n := w.traceArm.Load()
+		if n <= 0 {
+			return false
+		}
+		if w.traceArm.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// storeTrace retains one step's tracer for TraceReq pulls, evicting the
+// oldest entries beyond traceWindow.
+func (w *Worker) storeTrace(g *workerGraph, step uint64, tr *trace.Tracer) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.traces[step] = tr
+	for len(g.traces) > traceWindow {
+		oldest := step
+		for s := range g.traces {
+			if s < oldest {
+				oldest = s
+			}
+		}
+		delete(g.traces, oldest)
+	}
+}
+
+// traceGraph answers a TraceReq: this worker's span timeline for one traced
+// step, or an error naming what is missing.
+func (w *Worker) traceGraph(req *TraceReq) *TraceResp {
+	resp := &TraceResp{GraphID: req.GraphID, Step: req.Step, Worker: w.name}
+	w.mu.Lock()
+	g := w.graphs[req.GraphID]
+	w.mu.Unlock()
+	if g == nil {
+		resp.Err = fmt.Sprintf("cluster: worker %s: graph %d not registered", w.name, req.GraphID)
+		return resp
+	}
+	g.mu.Lock()
+	tr := g.traces[req.Step]
+	g.mu.Unlock()
+	if tr == nil {
+		resp.Err = fmt.Sprintf("cluster: worker %s: no trace recorded for graph %d step %d (was the step run with StepReq.Trace?)", w.name, req.GraphID, req.Step)
+		return resp
+	}
+	resp.Base = tr.Base().UnixNano()
+	resp.Spans = tr.Events()
+	return resp
+}
+
+// handleDebugTrace serves GET /debug/trace?steps=N: arm forced tracing of
+// the next N steps this daemon executes (any graph, any driver), wait for
+// them to finish, and return the merged Chrome trace-event JSON. Pair it
+// with a driver issuing steps; with no steps arriving the request times out
+// (timeout_ms, default 30s) and reports what it collected.
+func (w *Worker) handleDebugTrace(rw http.ResponseWriter, r *http.Request) {
+	n := 1
+	if s := r.URL.Query().Get("steps"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 || v > traceWindow {
+			http.Error(rw, fmt.Sprintf("steps must be in [1, %d]", traceWindow), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	timeout := 30 * time.Second
+	if s := r.URL.Query().Get("timeout_ms"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			timeout = time.Duration(v) * time.Millisecond
+		}
+	}
+	// Drain any tracer a previous (abandoned) arming left behind, then arm.
+	for {
+		select {
+		case <-w.traceCh:
+			continue
+		default:
+		}
+		break
+	}
+	w.traceArm.Add(int64(n))
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	var steps []tracedStep
+collect:
+	for len(steps) < n {
+		select {
+		case ts := <-w.traceCh:
+			steps = append(steps, ts)
+		case <-deadline.C:
+			break collect
+		case <-r.Context().Done():
+			break collect
+		}
+	}
+	// Disarm whatever was not consumed (without going negative: a step may
+	// have claimed an arming and not delivered yet).
+	for {
+		cur := w.traceArm.Load()
+		left := min(cur, int64(n-len(steps)))
+		if left <= 0 || w.traceArm.CompareAndSwap(cur, cur-left) {
+			break
+		}
+	}
+	if len(steps) == 0 {
+		http.Error(rw, fmt.Sprintf("no step executed within %v; issue steps while this request waits", timeout), http.StatusGatewayTimeout)
+		return
+	}
+	parts := make([]trace.Part, len(steps))
+	for i, ts := range steps {
+		parts[i] = trace.Part{
+			PID:    i + 1,
+			Name:   fmt.Sprintf("%s step %d", w.name, ts.step),
+			Base:   ts.tr.Base().UnixNano(),
+			Events: ts.tr.Events(),
+		}
+	}
+	js, err := trace.MergeChrome(parts)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_, _ = rw.Write(js)
 }

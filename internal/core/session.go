@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -79,9 +80,15 @@ type RunStats struct {
 
 // RunMetadata is the per-run result metadata returned by RunCtx and
 // Callable.CallCtx; unlike the legacy LastRunStats it is never shared
-// between concurrent runs.
+// between concurrent runs. It stays a comparable struct (Run checks
+// md != (RunMetadata{}) to detect planning-stage failures), which is why
+// StepTrace is a pointer.
 type RunMetadata struct {
 	Stats RunStats
+	// StepTrace holds the step's per-node execution spans when
+	// RunOptions.Trace was set (nil otherwise). Render it with
+	// trace.Tracer.ChromeTrace or ASCII.
+	StepTrace *trace.Tracer
 }
 
 // RunOptions names the inputs of one RunCtx call.
@@ -89,6 +96,9 @@ type RunOptions struct {
 	Feeds   map[string]*tensor.Tensor
 	Fetches []graph.Output
 	Targets []*graph.Node
+	// Trace records one span per node execution into RunMetadata.StepTrace.
+	// Off by default: the untraced step path stays zero-overhead.
+	Trace bool
 }
 
 // NewSession creates a session over the builder's graph.
@@ -150,14 +160,19 @@ func (s *Session) RunCtx(ctx context.Context, opts RunOptions) ([]*tensor.Tensor
 	if err != nil {
 		return nil, md, err
 	}
-	return s.runPlan(ctx, plan, opts.Feeds, nil, nodeCount)
+	return s.runPlan(ctx, plan, opts.Feeds, nil, nodeCount, opts.Trace)
 }
 
 // runPlan is the shared executor-driving tail of RunCtx and
 // Callable.CallCtx: build one step's executor over a compiled plan, run
 // it, and convert the fetched values. Exactly one of feeds/feeder is set.
-func (s *Session) runPlan(ctx context.Context, plan *exec.Plan, feeds map[string]*tensor.Tensor, feeder exec.Feeder, nodeCount int) ([]*tensor.Tensor, RunMetadata, error) {
+func (s *Session) runPlan(ctx context.Context, plan *exec.Plan, feeds map[string]*tensor.Tensor, feeder exec.Feeder, nodeCount int, traced bool) ([]*tensor.Tensor, RunMetadata, error) {
 	var md RunMetadata
+	var tracer *trace.Tracer
+	if traced {
+		tracer = trace.New()
+		md.StepTrace = tracer
+	}
 	ex, err := exec.NewFromPlan(plan, exec.Config{
 		Ctx:                ctx,
 		Feeds:              feeds,
@@ -168,6 +183,7 @@ func (s *Session) runPlan(ctx context.Context, plan *exec.Plan, feeds map[string
 		Runner:             s.Runner,
 		ParallelIterations: s.ParallelIterations,
 		Workers:            s.Workers,
+		Trace:              tracer,
 	})
 	if err != nil {
 		return nil, md, err
@@ -406,7 +422,7 @@ func (c *Callable) CallCtx(ctx context.Context, args ...*tensor.Tensor) ([]*tens
 		return nil, RunMetadata{}, fmt.Errorf("core: callable is stale: graph mutated since MakeCallable (version %d, now %d)",
 			c.version, v)
 	}
-	return c.s.runPlan(ctx, c.plan, nil, &positionalFeeder{names: c.feedNames, vals: args}, c.nodeCount)
+	return c.s.runPlan(ctx, c.plan, nil, &positionalFeeder{names: c.feedNames, vals: args}, c.nodeCount, false)
 }
 
 // Prune returns the nodes transitively required by fetches and targets

@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Fleet is a set of dialed worker daemons (cmd/dcfworker processes, or
@@ -450,7 +451,7 @@ func (c *TCPCluster) Run(feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, err
 // step (the values are discarded) — callers recover the same way they would
 // from a step failure.
 func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
-	out, step, err := c.runStep(ctx, feeds)
+	out, step, err := c.runStep(ctx, feeds, false)
 	if err != nil {
 		return nil, err
 	}
@@ -465,7 +466,43 @@ func (c *TCPCluster) RunCtx(ctx context.Context, feeds map[string]*tensor.Tensor
 // runStep is RunCtx without the checkpoint policy; it holds the read side
 // of ckptGate for its entire duration so checkpoints only ever observe
 // step boundaries.
-func (c *TCPCluster) runStep(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, uint64, error) {
+// RunTraced executes one step with per-node tracing enabled on every
+// worker, pulls each worker's span timeline over the control plane, and
+// merges them into one Chrome trace-event file (pid = worker, tid =
+// device/stream, flow events linking Send->Recv across partitions) loadable
+// in Perfetto or chrome://tracing. Returns the step's fetches and the
+// merged JSON.
+func (c *TCPCluster) RunTraced(ctx context.Context, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, []byte, error) {
+	out, step, err := c.runStep(ctx, feeds, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	js, err := c.CollectTrace(step)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, js, nil
+}
+
+// CollectTrace pulls every worker's recorded spans for a traced step and
+// merges the per-worker timelines onto one clock.
+func (c *TCPCluster) CollectTrace(step uint64) ([]byte, error) {
+	parts := make([]trace.Part, 0, len(c.workers))
+	for i, w := range c.workers {
+		cl, _, err := c.fleet.client(w)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: trace step %d: %w", step, err)
+		}
+		resp, err := cl.Trace(c.gid, step)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: trace step %d: %w", step, err)
+		}
+		parts = append(parts, trace.Part{PID: i + 1, Name: w, Base: resp.Base, Events: resp.Spans})
+	}
+	return trace.MergeChrome(parts)
+}
+
+func (c *TCPCluster) runStep(ctx context.Context, feeds map[string]*tensor.Tensor, traced bool) ([]*tensor.Tensor, uint64, error) {
 	c.ckptGate.RLock()
 	defer c.ckptGate.RUnlock()
 	c.mu.Lock()
@@ -510,6 +547,7 @@ func (c *TCPCluster) runStep(ctx context.Context, feeds map[string]*tensor.Tenso
 			Step:           step,
 			Feeds:          wireFeeds,
 			ReleaseThrough: released,
+			Trace:          traced,
 		})
 		launched = append(launched, workerChan{name: w, cl: cl, ch: ch})
 	}

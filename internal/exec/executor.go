@@ -6,10 +6,28 @@ import (
 	"runtime"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Executor-level metrics on the process registry: step and kernel volume,
+// the inline/spawn/pool dispatch split, and pool pressure. Per-step tallies
+// accumulate in plain Executor fields and flush once when Run returns, so
+// the per-node hot path pays no atomics for them.
+var (
+	metricSteps     = metrics.Default().Counter("exec_steps_total")
+	metricKernels   = metrics.Default().Counter("exec_kernels_total")
+	metricInline    = metrics.Default().Counter("exec_dispatch_inline_total")
+	metricSpawn     = metrics.Default().Counter("exec_dispatch_spawn_total")
+	metricPooled    = metrics.Default().Counter("exec_dispatch_pool_total")
+	metricSteals    = metrics.Default().Counter("exec_pool_steals_total")
+	metricQueueCur  = metrics.Default().Gauge("exec_pool_queue_depth")
+	metricQueuePeak = metrics.Default().Gauge("exec_pool_queue_peak_depth")
 )
 
 // DefaultParallelIterations bounds how many iterations of one loop may be
@@ -70,6 +88,14 @@ type Config struct {
 	// runtime shares one pool across a step's partitions so they draw from
 	// a single worker budget. The caller owns the pool's lifecycle.
 	Pool *Pool
+	// Trace, if set, receives one span per node execution (node, op,
+	// frame/iteration, queue-wait vs run time, worker id, Send/Recv flow
+	// ids). Off (nil) by default; the tracing-off path is zero-alloc and
+	// guarded by the alloc-budget test in dcf.
+	Trace *trace.Tracer
+	// TraceStream prefixes this executor's span stream names (tid in the
+	// Chrome trace), typically the partition's device; "" means "cpu".
+	TraceStream string
 }
 
 // WorkersSpawn selects the legacy goroutine-per-execution kernel dispatch
@@ -337,6 +363,19 @@ type Executor struct {
 	env *stepEnv
 
 	numKernels int
+	// Per-step dispatch tallies, flushed to the process metrics registry
+	// when Run returns (plain ints: no hot-path atomics).
+	statInline int
+	statSpawn  int
+	statPooled int
+
+	// tracer mirrors cfg.Trace; streamInline/streamSpawn are the
+	// precomputed span stream names (built once so the traced path doesn't
+	// concatenate per span for the common dispatch modes).
+	tracer       *trace.Tracer
+	streamBase   string
+	streamInline string
+	streamSpawn  string
 
 	// runners/mems are per-plan-index device bindings resolved once at
 	// construction (nil slices when the config has no custom providers).
@@ -518,6 +557,15 @@ func NewFromPlan(plan *Plan, cfg Config) (*Executor, error) {
 	if cfg.Ctx != nil {
 		ex.done = cfg.Ctx.Done()
 	}
+	if cfg.Trace != nil {
+		ex.tracer = cfg.Trace
+		ex.streamBase = cfg.TraceStream
+		if ex.streamBase == "" {
+			ex.streamBase = "cpu"
+		}
+		ex.streamInline = ex.streamBase + "/inline"
+		ex.streamSpawn = ex.streamBase + "/spawn"
+	}
 	ex.fetched = make([]Token, len(cfg.Fetches))
 	ex.fetchOK = make([]bool, len(cfg.Fetches))
 	ex.root = newFrame("root", -1, nil, 0, 1)
@@ -603,6 +651,11 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 		if ex.ownPool && ex.pool != nil {
 			ex.pool.Close()
 		}
+		metricSteps.Inc()
+		metricKernels.Add(int64(ex.numKernels))
+		metricInline.Add(int64(ex.statInline))
+		metricSpawn.Add(int64(ex.statSpawn))
+		metricPooled.Add(int64(ex.statPooled))
 	}()
 	it := ex.iteration(ex.root, 0)
 	if it == nil {
@@ -627,8 +680,13 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 				// The step already failed (error or cancel): account
 				// for the queued execution without running it.
 				msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter}
-			} else {
+			} else if ex.tracer == nil {
 				outs, err := ex.runNode(item.idx, item.inputs, item.tag, item.deadCtl)
+				msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter, outs: outs, err: err}
+			} else {
+				start := time.Now()
+				outs, err := ex.runNode(item.idx, item.inputs, item.tag, item.deadCtl)
+				ex.recordSpan(item.idx, item.fs, item.iter, item.tag, trace.WorkerInline, ex.streamInline, item.enq, start, time.Now())
 				msg = doneMsg{idx: item.idx, fs: item.fs, iter: item.iter, outs: outs, err: err}
 			}
 		} else if ex.doneHead < len(ex.doneQ) {
@@ -697,6 +755,36 @@ func (ex *Executor) Run() ([]ops.Value, error) {
 
 // NumKernels reports how many node executions ran (for tests/stats).
 func (ex *Executor) NumKernels() int { return ex.numKernels }
+
+// recordSpan emits one node-execution span to the step tracer. Callers
+// guarantee ex.tracer != nil; everything here may allocate freely because
+// the tracing-off path never reaches it.
+func (ex *Executor) recordSpan(idx int32, fs *frameState, iter int, tag string, worker int, stream string, enq, start, end time.Time) {
+	info := &ex.plan.infos[idx]
+	ev := trace.Event{
+		Stream: stream,
+		Name:   info.node.Name(),
+		Op:     info.node.Op(),
+		Frame:  fs.tag(iter),
+		Iter:   iter,
+		Worker: worker,
+	}
+	if !enq.IsZero() {
+		ev.Queue = start.Sub(enq)
+	}
+	if (info.kind == kSend || info.kind == kRecv) && tag != "" {
+		// Both sides of a hop derive the same id from (static key, frame
+		// tag), so merged traces link Send→Recv without coordination.
+		ev.Flow = trace.FlowID(info.sendKey, tag)
+		ev.IsSend = info.kind == kSend
+	}
+	ex.tracer.RecordSpan(ev, start, end)
+}
+
+// poolSpanStream names a pool worker's span stream ("<base>/pool-<id>").
+func (ex *Executor) poolSpanStream(worker int) string {
+	return ex.streamBase + "/pool-" + strconv.Itoa(worker)
+}
 
 // pollCancel notices cancellation without blocking; the dispatcher calls it
 // every turn because it can stay in the inline queue for a long time (loop
@@ -963,9 +1051,16 @@ func (ex *Executor) schedule(idx int32, fs *frameState, it *iterState) {
 	// Dead executions skip their kernels entirely (Fig. 5's propagation
 	// rule), so they are inline-eligible for every op except Send, whose
 	// dead-signal publication may touch the network.
+	// enq timestamps feed the spans' queue-wait attribution; taking them
+	// only when tracing keeps the off path free of clock reads.
+	var enq time.Time
+	if ex.tracer != nil {
+		enq = time.Now()
+	}
 	dead := deadCtl || (ns.deadData > 0 && info.kind != kMerge)
 	if info.inline || (dead && info.kind != kSend) || ex.cheapInline(idx, info, inputs) {
-		ex.inlineQ = append(ex.inlineQ, inlineItem{idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl})
+		ex.statInline++
+		ex.inlineQ = append(ex.inlineQ, inlineItem{idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl, enq: enq})
 		return
 	}
 	// Ops that may block — Send and Recv (network), kernels on custom
@@ -977,8 +1072,16 @@ func (ex *Executor) schedule(idx int32, fs *frameState, it *iterState) {
 		(ex.runners != nil && ex.runners[idx] != nil) ||
 		(ex.mems != nil && ex.mems[idx] != nil)
 	if mayBlock || (ex.cfg.Pool == nil && ex.cfg.Workers == WorkersSpawn) {
+		ex.statSpawn++
 		go func() {
+			var start time.Time
+			if ex.tracer != nil {
+				start = time.Now()
+			}
 			outs, err := ex.runNode(idx, inputs, tag, deadCtl)
+			if ex.tracer != nil {
+				ex.recordSpan(idx, fs, iter, tag, trace.WorkerSpawn, ex.streamSpawn, enq, start, time.Now())
+			}
 			batch := batchPool.Get().([]doneMsg)[:0]
 			batch = append(batch, doneMsg{idx: idx, fs: fs, iter: iter, outs: outs, err: err})
 			ex.events <- batch
@@ -1003,7 +1106,8 @@ func (ex *Executor) schedule(idx int32, fs *frameState, it *iterState) {
 			ex.ownPool = true
 		}
 	}
-	ex.pool.submit(poolItem{ex: ex, idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl})
+	ex.statPooled++
+	ex.pool.submit(poolItem{ex: ex, idx: idx, fs: fs, iter: iter, inputs: inputs, tag: tag, deadCtl: deadCtl, enq: enq})
 }
 
 // inlineOps never block and carry no real computation: the dispatcher
@@ -1080,6 +1184,7 @@ type inlineItem struct {
 	inputs  []Token
 	tag     string
 	deadCtl bool
+	enq     time.Time // enqueue instant; zero unless the step is traced
 }
 
 // makeDead builds an all-dead output vector.

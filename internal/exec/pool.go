@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The worker pool replaces the per-execution `go func()` spawn on the kernel
@@ -32,6 +33,7 @@ type poolItem struct {
 	inputs  []Token
 	tag     string
 	deadCtl bool
+	enq     time.Time // enqueue instant; zero unless the step is traced
 }
 
 // completionQuantum bounds how many finished executions a worker buffers
@@ -138,6 +140,8 @@ func (p *Pool) submit(it poolItem) {
 	p.queues[w].push(it)
 	p.mu.Lock()
 	p.pending++
+	metricQueueCur.Set(int64(p.pending))
+	metricQueuePeak.SetMax(int64(p.pending))
 	if !p.started {
 		p.started = true
 		p.wg.Add(len(p.queues))
@@ -169,6 +173,7 @@ func (p *Pool) take(self int) (poolItem, bool) {
 	}
 	for i := 1; i < len(p.queues); i++ {
 		if it, ok := p.queues[(self+i)%len(p.queues)].popHead(); ok {
+			metricSteals.Inc()
 			return it, true
 		}
 	}
@@ -207,6 +212,7 @@ func (p *Pool) worker(self int) {
 			return
 		}
 		p.pending--
+		metricQueueCur.Set(int64(p.pending))
 		p.mu.Unlock()
 
 		it, ok := p.take(self)
@@ -236,7 +242,13 @@ func (p *Pool) worker(self int) {
 		if !it.ex.aborted.Load() {
 			// After a step fails the dispatcher only counts completions,
 			// so skip the kernel (mirroring the inline-queue skip).
-			outs, err = it.ex.runNode(it.idx, it.inputs, it.tag, it.deadCtl)
+			if tr := it.ex.tracer; tr == nil {
+				outs, err = it.ex.runNode(it.idx, it.inputs, it.tag, it.deadCtl)
+			} else {
+				start := time.Now()
+				outs, err = it.ex.runNode(it.idx, it.inputs, it.tag, it.deadCtl)
+				it.ex.recordSpan(it.idx, it.fs, it.iter, it.tag, self, it.ex.poolSpanStream(self), it.enq, start, time.Now())
+			}
 		}
 		batch = append(batch, doneMsg{idx: it.idx, fs: it.fs, iter: it.iter, outs: outs, err: err})
 	}

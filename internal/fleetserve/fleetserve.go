@@ -60,6 +60,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -241,15 +242,19 @@ type Router struct {
 
 	lat latRing // attempt latencies, for the p99 hedge delay
 
-	requests     atomic.Int64
-	retries      atomic.Int64
-	exhausted    atomic.Int64
-	hedges       atomic.Int64
-	hedgeWins    atomic.Int64
-	ejections    atomic.Int64
-	readmissions atomic.Int64
-	drains       atomic.Int64
-	joins        atomic.Int64
+	// Router counters live on a per-router metrics registry (exported on
+	// /metrics by dcfserve's fleet mode); Snapshot folds them into the
+	// legacy /fleetz Status view.
+	reg          *metrics.Registry
+	requests     *metrics.Counter
+	retries      *metrics.Counter
+	exhausted    *metrics.Counter
+	hedges       *metrics.Counter
+	hedgeWins    *metrics.Counter
+	ejections    *metrics.Counter
+	readmissions *metrics.Counter
+	drains       *metrics.Counter
+	joins        *metrics.Counter
 }
 
 // New builds a router and joins one replica per addrs element (each a list
@@ -269,7 +274,17 @@ func New(ctx context.Context, cfg Config, opts Options, replicas ...[]string) (*
 		opts: opts.withDefaults(),
 		reps: map[string]*replica{},
 		stop: make(chan struct{}),
+		reg:  metrics.NewRegistry(),
 	}
+	r.requests = r.reg.Counter("fleet_requests_total")
+	r.retries = r.reg.Counter("fleet_retries_total")
+	r.exhausted = r.reg.Counter("fleet_exhausted_total")
+	r.hedges = r.reg.Counter("fleet_hedges_total")
+	r.hedgeWins = r.reg.Counter("fleet_hedge_wins_total")
+	r.ejections = r.reg.Counter("fleet_ejections_total")
+	r.readmissions = r.reg.Counter("fleet_readmissions_total")
+	r.drains = r.reg.Counter("fleet_drains_total")
+	r.joins = r.reg.Counter("fleet_joins_total")
 	for _, addrs := range replicas {
 		if _, err := r.Join(ctx, addrs...); err != nil {
 			r.Close()
@@ -860,15 +875,15 @@ func (r *Router) Snapshot() Status {
 	}
 	r.mu.Unlock()
 	st := Status{
-		Requests:     r.requests.Load(),
-		Retries:      r.retries.Load(),
-		Exhausted:    r.exhausted.Load(),
-		Hedges:       r.hedges.Load(),
-		HedgeWins:    r.hedgeWins.Load(),
-		Ejections:    r.ejections.Load(),
-		Readmissions: r.readmissions.Load(),
-		Drains:       r.drains.Load(),
-		Joins:        r.joins.Load(),
+		Requests:     r.requests.Value(),
+		Retries:      r.retries.Value(),
+		Exhausted:    r.exhausted.Value(),
+		Hedges:       r.hedges.Value(),
+		HedgeWins:    r.hedgeWins.Value(),
+		Ejections:    r.ejections.Value(),
+		Readmissions: r.readmissions.Value(),
+		Drains:       r.drains.Value(),
+		Joins:        r.joins.Value(),
 		HedgeDelayMs: float64(r.hedgeDelay()) / 1e6,
 	}
 	for _, rep := range reps {
@@ -894,6 +909,10 @@ func (r *Router) Snapshot() Status {
 	}
 	return st
 }
+
+// Metrics returns the router's metrics registry, for export alongside the
+// process-wide metrics.Default() registry.
+func (r *Router) Metrics() *metrics.Registry { return r.reg }
 
 // Replicas returns the current replica names in join order.
 func (r *Router) Replicas() []string {

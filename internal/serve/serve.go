@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -177,9 +178,24 @@ type Batcher struct {
 	slots chan struct{} // in-flight batch semaphore
 	wg    sync.WaitGroup
 
-	statsMu sync.Mutex
-	stats   Stats
-	start   time.Time
+	start time.Time
+
+	// Cumulative stats live on a per-batcher metrics registry (exported on
+	// /metrics by dcfserve); the instrument pointers below are the hot-path
+	// handles. Snapshot() folds them back into the legacy Stats view.
+	reg           *metrics.Registry
+	mRejected     *metrics.Counter
+	mCanceled     *metrics.Counter
+	mDropped      *metrics.Counter
+	mBatches      *metrics.Counter
+	mRows         *metrics.Counter
+	mBatchedReqs  *metrics.Counter
+	mErrors       *metrics.Counter
+	mMaxBatchRows *metrics.Gauge
+	mQueueMax     *metrics.Gauge
+	mExecMax      *metrics.Gauge
+	hQueueDelay   *metrics.Histogram
+	hExec         *metrics.Histogram
 }
 
 // New creates a batcher over one batched call function.
@@ -191,9 +207,26 @@ func New(call CallFunc, opts Options) *Batcher {
 		buckets: map[string]*bucket{},
 		slots:   make(chan struct{}, o.MaxInFlight),
 		start:   time.Now(),
+		reg:     metrics.NewRegistry(),
 	}
+	b.mRejected = b.reg.Counter("serve_rejected_total")
+	b.mCanceled = b.reg.Counter("serve_canceled_total")
+	b.mDropped = b.reg.Counter("serve_dropped_canceled_total")
+	b.mBatches = b.reg.Counter("serve_batches_total")
+	b.mRows = b.reg.Counter("serve_rows_total")
+	b.mBatchedReqs = b.reg.Counter("serve_batched_requests_total")
+	b.mErrors = b.reg.Counter("serve_errors_total")
+	b.mMaxBatchRows = b.reg.Gauge("serve_max_batch_rows")
+	b.mQueueMax = b.reg.Gauge("serve_queue_delay_max_ns")
+	b.mExecMax = b.reg.Gauge("serve_exec_max_ns")
+	b.hQueueDelay = b.reg.Histogram("serve_queue_delay_ns")
+	b.hExec = b.reg.Histogram("serve_exec_duration_ns")
 	return b
 }
+
+// Metrics returns the batcher's metrics registry, for export alongside the
+// process-wide metrics.Default() registry.
+func (b *Batcher) Metrics() *metrics.Registry { return b.reg }
 
 // bucketKey derives the default bucket key: dtype + trailing dims per feed.
 // Rows (axis 0) are excluded so requests of different row counts stack.
@@ -227,9 +260,7 @@ func (b *Batcher) DoDetailed(ctx context.Context, args ...*tensor.Tensor) ([]*te
 	req, err := b.enqueue(ctx, args)
 	if err != nil {
 		if errors.Is(err, ErrInvalidRequest) {
-			b.statsMu.Lock()
-			b.stats.Rejected++
-			b.statsMu.Unlock()
+			b.mRejected.Inc()
 		}
 		return nil, ReqInfo{}, err
 	}
@@ -240,9 +271,7 @@ func (b *Batcher) DoDetailed(ctx context.Context, args ...*tensor.Tensor) ([]*te
 		// The request may still be queued (assembly will drop it — see
 		// runBatch) or already riding a batch whose result nobody will
 		// read; either way the batch itself is unaffected.
-		b.statsMu.Lock()
-		b.stats.Canceled++
-		b.statsMu.Unlock()
+		b.mCanceled.Inc()
 		return nil, ReqInfo{}, fmt.Errorf("serve: request canceled while batching: %w", ctx.Err())
 	}
 }
@@ -470,9 +499,7 @@ func (b *Batcher) runBatch(batch []*request) {
 		live = append(live, r)
 	}
 	if dropped > 0 {
-		b.statsMu.Lock()
-		b.stats.DroppedCanceled += int64(dropped)
-		b.statsMu.Unlock()
+		b.mDropped.Add(int64(dropped))
 	}
 	if len(live) == 0 {
 		return
@@ -494,21 +521,15 @@ func (b *Batcher) runBatch(batch []*request) {
 	outs, err := b.call(context.Background(), args)
 	execLat := time.Since(execStart)
 
-	b.statsMu.Lock()
-	b.stats.Batches++
-	b.stats.Rows += int64(rows)
-	b.stats.BatchedRequests += int64(len(live))
-	if rows > b.stats.MaxBatchRows {
-		b.stats.MaxBatchRows = rows
-	}
-	b.stats.ExecTotal += execLat
-	if execLat > b.stats.ExecMax {
-		b.stats.ExecMax = execLat
-	}
+	b.mBatches.Inc()
+	b.mRows.Add(int64(rows))
+	b.mBatchedReqs.Add(int64(len(live)))
+	b.mMaxBatchRows.SetMax(int64(rows))
+	b.hExec.Observe(execLat.Nanoseconds())
+	b.mExecMax.SetMax(execLat.Nanoseconds())
 	if err != nil {
-		b.stats.Errors++
+		b.mErrors.Inc()
 	}
-	b.statsMu.Unlock()
 
 	if err != nil {
 		b.fail(live, fmt.Errorf("serve: batched step failed: %w", err))
@@ -597,12 +618,8 @@ func (b *Batcher) recordDelay(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	b.statsMu.Lock()
-	b.stats.QueueDelayTotal += d
-	if d > b.stats.QueueDelayMax {
-		b.stats.QueueDelayMax = d
-	}
-	b.statsMu.Unlock()
+	b.hQueueDelay.Observe(d.Nanoseconds())
+	b.mQueueMax.SetMax(d.Nanoseconds())
 }
 
 // Close stops accepting requests, flushes every queued request into a
@@ -694,11 +711,23 @@ func (s Stats) RequestsPerSec() float64 {
 	return float64(s.BatchedRequests) / s.Uptime.Seconds()
 }
 
-// Snapshot returns the current stats.
+// Snapshot returns the current stats, folded back from the batcher's
+// metrics registry.
 func (b *Batcher) Snapshot() Stats {
-	b.statsMu.Lock()
-	s := b.stats
-	b.statsMu.Unlock()
+	s := Stats{
+		Rejected:        b.mRejected.Value(),
+		Canceled:        b.mCanceled.Value(),
+		DroppedCanceled: b.mDropped.Value(),
+		Batches:         b.mBatches.Value(),
+		Rows:            b.mRows.Value(),
+		BatchedRequests: b.mBatchedReqs.Value(),
+		Errors:          b.mErrors.Value(),
+		MaxBatchRows:    int(b.mMaxBatchRows.Value()),
+		QueueDelayTotal: time.Duration(b.hQueueDelay.Sum()),
+		QueueDelayMax:   time.Duration(b.mQueueMax.Value()),
+		ExecTotal:       time.Duration(b.hExec.Sum()),
+		ExecMax:         time.Duration(b.mExecMax.Value()),
+	}
 	s.Uptime = time.Since(b.start)
 	s.Queued, s.InFlightBatches = b.Load()
 	return s

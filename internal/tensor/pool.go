@@ -1,6 +1,18 @@
 package tensor
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Pool effectiveness counters on the process registry: a hit is an Alloc
+// served from a recycled buffer, a miss is a fresh allocation. hit rate =
+// hits / (hits + misses) per scrape.
+var (
+	metricPoolHits   = metrics.Default().Counter("tensor_pool_hits_total")
+	metricPoolMisses = metrics.Default().Counter("tensor_pool_misses_total")
+)
 
 // Buffer pool: size-classed free lists of whole tensors (struct, shape
 // slice, and backing storage together), one set of power-of-two classes per
@@ -59,6 +71,7 @@ func Alloc(dtype DType, shape ...int) *Tensor {
 		return New(dtype, shape...)
 	}
 	if v := tensorPools[dtype][c].Get(); v != nil {
+		metricPoolHits.Inc()
 		t := v.(*Tensor)
 		t.shape = append(t.shape[:0], shape...)
 		switch dtype {
@@ -71,6 +84,7 @@ func Alloc(dtype DType, shape ...int) *Tensor {
 		}
 		return t
 	}
+	metricPoolMisses.Inc()
 	t := &Tensor{dtype: dtype, shape: cloneShape(shape)}
 	switch dtype {
 	case Float:
