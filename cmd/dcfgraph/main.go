@@ -3,10 +3,11 @@
 // flow compiles to the Switch/Merge/Enter/Exit/NextIteration primitives
 // (§4.2) and what the gradient construction adds (§5.1).
 //
-//	dcfgraph -model loop        # simple counting loop
-//	dcfgraph -model rnn -grad   # dynamic RNN with its gradient subgraph
-//	dcfgraph -model cond -dot   # conditional, DOT on stdout
-//	dcfgraph -model rnn -lint   # run the static verifier, exit 1 on findings
+//	dcfgraph -model loop          # simple counting loop
+//	dcfgraph -model rnn -grad     # dynamic RNN with its gradient subgraph
+//	dcfgraph -model cond -dot     # conditional, DOT on stdout
+//	dcfgraph -model rnn -lint     # run the static verifier, exit 1 on findings
+//	dcfgraph -model rnn -analyze  # static peak-memory bound + per-node table
 package main
 
 import (
@@ -25,7 +26,7 @@ func buildModel(model string, withGrad bool) (*dcf.Graph, error) {
 	switch model {
 	case "loop":
 		w := g.Variable("w", dcf.RandNormal(1, 0, 0.1, 4, 4))
-		x := g.Placeholder("x")
+		x := g.PlaceholderTyped("x", dcf.Float, 4, 4)
 		outs := g.While(
 			[]dcf.Tensor{g.Scalar(0), x},
 			func(v []dcf.Tensor) dcf.Tensor { return v[0].Less(g.Scalar(8)) },
@@ -39,8 +40,8 @@ func buildModel(model string, withGrad bool) (*dcf.Graph, error) {
 			g.MustGradients(loss, w)
 		}
 	case "cond":
-		p := g.Placeholder("p")
-		x := g.Placeholder("x")
+		p := g.PlaceholderTyped("p", dcf.Bool, 1)
+		x := g.PlaceholderTyped("x", dcf.Float, 8, 8)
 		outs := g.Cond(p,
 			func() []dcf.Tensor { return []dcf.Tensor{x.Square()} },
 			func() []dcf.Tensor { return []dcf.Tensor{x.Tanh()} },
@@ -51,7 +52,7 @@ func buildModel(model string, withGrad bool) (*dcf.Graph, error) {
 		}
 	case "rnn":
 		cell := nn.NewLSTMCell(g, "lstm", 8, 16, 1)
-		x := g.Placeholder("x")
+		x := g.PlaceholderTyped("x", dcf.Float, 6, 4, 8) // [time, batch, in]
 		h0 := g.Const(dcf.Zeros(4, 16))
 		c0 := g.Const(dcf.Zeros(4, 16))
 		r := nn.DynamicRNN(g, cell, x, h0, c0, dcf.WhileOpts{})
@@ -70,6 +71,8 @@ func main() {
 	withGrad := flag.Bool("grad", false, "add the gradient subgraph")
 	dot := flag.Bool("dot", false, "print Graphviz DOT instead of stats")
 	lint := flag.Bool("lint", false, "run the static graph verifier and exit 1 on findings")
+	analyze := flag.Bool("analyze", false, "print the static peak-memory bound with a per-node residency table")
+	window := flag.Int("window", 32, "assumed loop iteration window (parallel_iterations) for -analyze")
 	flag.Parse()
 
 	g, err := buildModel(*model, *withGrad)
@@ -89,6 +92,18 @@ func main() {
 		fmt.Printf("model %q (grad=%v): graph verifies clean\n", *model, *withGrad)
 		return
 	}
+	if *analyze {
+		est, ds := verify.EstimateMemory(g.Builder().G, verify.MemOptions{DefaultWindow: *window})
+		if est == nil {
+			for _, d := range ds {
+				fmt.Println(d)
+			}
+			fmt.Fprintf(os.Stderr, "dcfgraph: model %q does not verify; no estimate\n", *model)
+			os.Exit(1)
+		}
+		printEstimate(*model, *withGrad, est)
+		return
+	}
 	if *dot {
 		fmt.Print(g.Builder().G.DOT())
 		return
@@ -104,5 +119,45 @@ func main() {
 	fmt.Printf("model %q (grad=%v): %d nodes\n", *model, *withGrad, total)
 	for _, op := range ops {
 		fmt.Printf("%6d  %s\n", stats[op], op)
+	}
+}
+
+// printEstimate renders the memory analysis: the headline bound, the top-5
+// contributing values at the peak node, and the per-node residency table.
+func printEstimate(model string, withGrad bool, est *verify.MemEstimate) {
+	finite := "finite"
+	if !est.Finite() {
+		finite = "symbolic"
+	}
+	fmt.Printf("model %q (grad=%v): %s bound, %s\n", model, withGrad, finite, est)
+	if est.StepBytes > 0 {
+		fmt.Printf("  step-resident (tensor arrays): %d B\n", est.StepBytes)
+	}
+	frame := est.PeakFrame
+	if frame == "" {
+		frame = "<root>"
+	}
+	fmt.Printf("  peak at node %q (%s, frame %s)\n", est.PeakNode, est.PeakOp, frame)
+	fmt.Println("  top contributors:")
+	for i, c := range est.Contributors {
+		if i == 5 {
+			fmt.Printf("    ... and %d more\n", len(est.Contributors)-5)
+			break
+		}
+		line := fmt.Sprintf("%d B", c.Bytes)
+		if c.PerRow > 0 {
+			line = fmt.Sprintf("%d B/row", c.PerRow)
+		}
+		fmt.Printf("    %10s  %s (%s, window %d)\n", line, c.Edge, c.Op, c.Window)
+	}
+	fmt.Println("  per-node residency (topological order):")
+	fmt.Printf("    %12s %8s %6s  %s\n", "bytes", "B/row", "win", "node (op, frame)")
+	for _, nm := range est.Nodes {
+		frame := nm.Frame
+		if frame == "" {
+			frame = "<root>"
+		}
+		fmt.Printf("    %12d %8d %6d  %s (%s, %s)\n",
+			nm.FixedBytes, nm.PerRow, nm.Window, nm.Node, nm.Op, frame)
 	}
 }

@@ -7,10 +7,12 @@
 //
 // Usage:
 //
-//	dcfvet [-only name[,name...]] [-list] [packages]
+//	dcfvet [-only name[,name...]] [-list] [-unused-allows] [packages]
 //
 // With no package patterns, ./... is analyzed. Findings are suppressed per
-// line with "// dcfvet:allow <analyzer>=<reason>".
+// line with "// dcfvet:allow <analyzer>=<reason>". With -unused-allows,
+// allow annotations that suppress nothing are themselves reported and fail
+// the run — stale suppressions rot into blind spots otherwise.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	unusedAllows := flag.Bool("unused-allows", false, "report allow annotations that suppress nothing and exit 1 if any exist")
 	flag.Parse()
 
 	all := analysis.All()
@@ -63,12 +66,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcfvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags := analysis.Run(pkgs, selected)
+	diags, unused := analysis.RunDetail(pkgs, selected)
 	for _, d := range diags {
 		fmt.Printf("%s\n", d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dcfvet: %d finding(s)\n", len(diags))
+	stale := 0
+	if *unusedAllows {
+		for _, u := range unused {
+			fmt.Printf("%s: unused allow for %s: %s\n", u.Pos, u.Analyzer, u.Reason)
+		}
+		stale = len(unused)
+	}
+	if len(diags) > 0 || stale > 0 {
+		fmt.Fprintf(os.Stderr, "dcfvet: %d finding(s), %d unused allow(s)\n", len(diags), stale)
 		os.Exit(1)
 	}
 }

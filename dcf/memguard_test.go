@@ -1,0 +1,172 @@
+package dcf_test
+
+// Guard tests for the static peak-memory bound (internal/verify
+// EstimateMemory): the executor's observed tensor-pool high-water mark
+// must never exceed the verify-time bound on the representative
+// while-loop, dynamic-RNN, and mixture-of-experts graphs. The pool gauge
+// is process-global, so these tests reset it around each measured step
+// and must not run in parallel with each other.
+
+import (
+	"context"
+	"testing"
+
+	"repro/dcf"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/verify"
+)
+
+// measurePeak runs step repeatedly with the pool water reset before each
+// run and returns the largest single-step payload high-water observed.
+func measurePeak(t *testing.T, steps int, step func()) int64 {
+	t.Helper()
+	var peak int64
+	for i := 0; i < steps; i++ {
+		tensor.ResetPoolWater()
+		step()
+		if p := tensor.PoolPeakBytes(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// boundFor estimates the graph and fails the test on verifier findings —
+// the guard is only meaningful over graphs that verify clean.
+func boundFor(t *testing.T, g *dcf.Graph, fetches []graph.Output, targets []*graph.Node) *verify.MemEstimate {
+	t.Helper()
+	est, ds := verify.EstimateMemory(g.Builder().G, verify.MemOptions{
+		Check: verify.Options{Complete: true, Fetches: fetches, Targets: targets},
+	})
+	if err := ds.Err(); err != nil {
+		t.Fatalf("graph does not verify: %v", err)
+	}
+	if est == nil {
+		t.Fatal("no estimate")
+	}
+	return est
+}
+
+func TestMemoryBoundWhileLoop(t *testing.T) {
+	g := dcf.NewGraph()
+	w := g.Variable("w", dcf.RandNormal(1, 0, 0.1, 4, 4))
+	x := g.PlaceholderTyped("x", dcf.Float, 4, 4)
+	outs := g.While(
+		[]dcf.Tensor{g.Scalar(0), x},
+		func(v []dcf.Tensor) dcf.Tensor { return v[0].Less(g.Scalar(8)) },
+		func(v []dcf.Tensor) []dcf.Tensor {
+			return []dcf.Tensor{v[0].Add(g.Scalar(1)), v[1].MatMul(w)}
+		},
+		dcf.WhileOpts{},
+	)
+	loss := outs[1].Square().ReduceSum()
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	est := boundFor(t, g, []graph.Output{loss.Output()}, nil)
+	if !est.Finite() {
+		t.Fatalf("while-loop graph with static shapes must bound finitely: %s", est)
+	}
+
+	sess := dcf.NewSession(g)
+	if err := sess.InitVariables(); err != nil {
+		t.Fatal(err)
+	}
+	feeds := dcf.Feeds{"x": dcf.RandNormal(2, 0, 1, 4, 4)}
+	observed := measurePeak(t, 3, func() {
+		if _, err := sess.Run1(feeds, loss); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bound := est.Bound(0, 8)
+	t.Logf("while-loop: bound %d B, observed pool peak %d B", bound, observed)
+	if observed > bound {
+		t.Fatalf("observed pool high-water %d B exceeds static bound %d B", observed, bound)
+	}
+}
+
+func TestMemoryBoundDynamicRNN(t *testing.T) {
+	const steps, batch, in, hidden = 6, 4, 8, 16
+	g := dcf.NewGraph()
+	cell := nn.NewLSTMCell(g, "lstm", in, hidden, 1)
+	x := g.PlaceholderTyped("x", dcf.Float, steps, batch, in)
+	h0 := g.Const(dcf.Zeros(batch, hidden))
+	c0 := g.Const(dcf.Zeros(batch, hidden))
+	r := nn.DynamicRNN(g, cell, x, h0, c0, dcf.WhileOpts{})
+	loss := r.Outputs.Square().ReduceSum()
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	est := boundFor(t, g, []graph.Output{loss.Output()}, nil)
+	if !est.Finite() {
+		t.Fatalf("RNN graph with static shapes must bound finitely: %s", est)
+	}
+	if est.StepBytes == 0 {
+		t.Fatalf("RNN estimate should count tensor-array storage: %s", est)
+	}
+
+	sess := dcf.NewSession(g)
+	if err := sess.InitVariables(); err != nil {
+		t.Fatal(err)
+	}
+	feeds := dcf.Feeds{"x": dcf.RandNormal(3, 0, 1, steps, batch, in)}
+	observed := measurePeak(t, 3, func() {
+		if _, err := sess.Run1(feeds, loss); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bound := est.Bound(0, steps)
+	t.Logf("rnn: bound %d B, observed pool peak %d B", bound, observed)
+	if observed > bound {
+		t.Fatalf("observed pool high-water %d B exceeds static bound %d B", observed, bound)
+	}
+}
+
+func TestMemoryBoundMoETrainStep(t *testing.T) {
+	const in, out, experts, batch = 6, 3, 4, 8
+	g := dcf.NewGraph()
+	moe := nn.NewMoE(g, "moe", in, out, experts, 11)
+	x := g.PlaceholderTyped("x", dcf.Float, batch, in)
+	target := g.PlaceholderTyped("y", dcf.Float, batch, out)
+	pred := moe.Apply(x)
+	loss := nn.MSE(pred, target)
+	step, err := nn.SGDStep(g, loss, &moe.Vars, 0.2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	est := boundFor(t, g, []graph.Output{loss.Output()}, []*graph.Node{step.Node()})
+
+	sess := dcf.NewSession(g)
+	if err := sess.InitVariables(); err != nil {
+		t.Fatal(err)
+	}
+	feeds := dcf.Feeds{
+		"x": dcf.RandNormal(3, 0, 1, batch, in),
+		"y": dcf.RandNormal(4, 0, 0.5, batch, out),
+	}
+	ctx := context.Background()
+	observed := measurePeak(t, 5, func() {
+		if _, _, err := sess.RunCtx(ctx, dcf.RunOptions{
+			Feeds:   feeds,
+			Fetches: []dcf.Tensor{loss},
+			Targets: []dcf.Op{step},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The MoE step has no while loop; iters only matters if inference
+	// left a symbolic per-iteration term (it should not).
+	bound := est.Bound(batch, 1)
+	t.Logf("moe: bound %d B (%s), observed pool peak %d B", bound, est, observed)
+	if observed > bound {
+		t.Fatalf("observed pool high-water %d B exceeds static bound %d B", observed, bound)
+	}
+}

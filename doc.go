@@ -139,13 +139,34 @@
 //     reply), after partitioning, and as a post-pass after graph
 //     optimization. `cmd/dcfgraph -lint` runs it from the command line.
 //     Details: internal/verify/README.md.
+//   - Static memory bounds (verify.EstimateMemory): a liveness analysis
+//     over the verified graph that bounds peak tensor residency before
+//     anything executes. The bound is symbolic in the unknowns — a base
+//     plus per-unknown-row and per-loop-iteration terms — and collapses
+//     to a finite byte count when shapes are closed, as every forward
+//     model here is; while-loop windows multiply residency by
+//     min(parallel_iterations, window). `cmd/dcfgraph -analyze` prints
+//     the bound, the peak node, top contributors, and per-node residency,
+//     and CI asserts the forward models stay finite. Like verification,
+//     estimation runs at plan-compile and lint time — never on the step
+//     path. Pool high-water tests (dcf/memguard_test.go) hold the
+//     runtime's measured tensor_pool_peak_bytes under each model's
+//     static bound.
 //   - Code analysis (internal/analysis, cmd/dcfvet): custom analyzers that
 //     machine-check repository invariants — kernels claiming input buffers
 //     must declare Fresh outputs, gob-encoded wire/checkpoint types must
 //     survive the round trip, no bare time.Sleep synchronization in
 //     tests, exported entry points must thread context.Context, and no
-//     panic() in executor hot paths. CI runs dcfvet over ./... and
-//     self-tests it against a seeded-violation fixture module.
+//     panic() in executor hot paths. On top of the per-package checks,
+//     three whole-program analyzers walk a conservative callgraph with
+//     per-function effect summaries (internal/analysis/README.md):
+//     lockorder reports cyclic mutex-acquisition orders (inter-procedural,
+//     through generic helpers and method-value callbacks), goroleak flags
+//     spawned goroutines that can block forever with no ctx/quit/close
+//     escape, and unsafesend flags channel sends racing a close owned by
+//     another function. CI runs dcfvet over ./... (stale allow
+//     suppressions fail via -unused-allows) and self-tests every analyzer
+//     against a seeded-violation fixture module that must fail.
 //
 // # Observability
 //

@@ -35,11 +35,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Analyzer is one named check run over every loaded package.
+// Analyzer is one named check. Per-package analyzers set Run; whole-
+// program analyzers (which need the callgraph and effect summaries — see
+// callgraph.go) set RunProgram instead. Exactly one must be non-nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 // Pass is the per-(analyzer, package) invocation context.
@@ -58,18 +61,76 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ProgramPass is the per-analyzer whole-program invocation context.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos, resolved through the file set of the
+// package that owns fn.
+func (p *ProgramPass) Reportf(fn *Function, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      fn.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run applies the analyzers to the packages and returns the surviving
 // findings (allow-annotated ones are dropped), sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunDetail(pkgs, analyzers)
+	return diags
+}
+
+// Allow is one parsed "dcfvet:allow" annotation.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// RunDetail is Run plus staleness accounting: the second result lists
+// allow annotations that suppressed nothing in this run (only annotations
+// naming one of the selected analyzers are considered — an allow for an
+// analyzer that did not run cannot be judged). cmd/dcfvet surfaces these
+// under -unused-allows so suppressions cannot outlive the code they
+// excused.
+func RunDetail(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Allow) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	needProgram := false
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			needProgram = true
 		}
 	}
-	diags = filterAllowed(pkgs, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
+		}
+	}
+	if needProgram {
+		// The Program (callgraph + effect summaries) is built once and
+		// shared by every whole-program analyzer.
+		prog := BuildProgram(pkgs)
+		for _, a := range analyzers {
+			if a.RunProgram != nil {
+				a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &diags})
+			}
+		}
+	}
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	diags, unused := filterAllowed(pkgs, diags, selected)
+	sortDiagnostics(diags)
+	sort.Slice(unused, func(i, j int) bool {
+		a, b := unused[i], unused[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -78,22 +139,52 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, unused
+}
+
+// sortDiagnostics pins the reporting order: (file, line, column, analyzer,
+// message). The full tiebreak chain makes runs byte-identical even when
+// several analyzers fire on one line — CI failures diff cleanly.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// allowSite is one annotation with its coverage and use tracking.
+type allowSite struct {
+	allow Allow
+	used  bool
 }
 
 // filterAllowed drops findings suppressed by a "dcfvet:allow <name>"
-// comment on the finding's line or the line above it.
-func filterAllowed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	// allowed[file][line] = set of analyzer names allowed there.
-	allowed := map[string]map[int]map[string]bool{}
-	note := func(file string, line int, name string) {
+// comment on the finding's line or the line above it, and reports the
+// annotations (among the selected analyzers) that suppressed nothing.
+func filterAllowed(pkgs []*Package, diags []Diagnostic, selected map[string]bool) ([]Diagnostic, []Allow) {
+	var sites []*allowSite
+	// allowed[file][line] = annotations covering that line per analyzer.
+	allowed := map[string]map[int]map[string]*allowSite{}
+	note := func(file string, line int, name string, s *allowSite) {
 		if allowed[file] == nil {
-			allowed[file] = map[int]map[string]bool{}
+			allowed[file] = map[int]map[string]*allowSite{}
 		}
 		if allowed[file][line] == nil {
-			allowed[file][line] = map[string]bool{}
+			allowed[file][line] = map[string]*allowSite{}
 		}
-		allowed[file][line][name] = true
+		allowed[file][line][name] = s
 	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -105,28 +196,37 @@ func filterAllowed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 						continue
 					}
 					spec := strings.TrimSpace(strings.TrimPrefix(text, "dcfvet:allow "))
-					name, _, _ := strings.Cut(spec, "=")
+					name, reason, _ := strings.Cut(spec, "=")
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
+					s := &allowSite{allow: Allow{Pos: pos, Analyzer: name, Reason: strings.TrimSpace(reason)}}
+					sites = append(sites, s)
 					// The annotation covers its own line and the next:
 					// both trailing comments and line-above comments work.
-					note(pos.Filename, pos.Line, name)
-					note(pos.Filename, pos.Line+1, name)
+					note(pos.Filename, pos.Line, name, s)
+					note(pos.Filename, pos.Line+1, name, s)
 				}
 			}
 		}
 	}
 	out := diags[:0]
 	for _, d := range diags {
-		if allowed[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+		if s := allowed[d.Pos.Filename][d.Pos.Line][d.Analyzer]; s != nil {
+			s.used = true
 			continue
 		}
 		out = append(out, d)
 	}
-	return out
+	var unused []Allow
+	for _, s := range sites {
+		if !s.used && selected[s.allow.Analyzer] {
+			unused = append(unused, s.allow)
+		}
+	}
+	return out, unused
 }
 
 // isTestFile reports whether the file's position is in a _test.go file.
@@ -155,5 +255,8 @@ func All() []*Analyzer {
 		PanicPath,
 		BackoffJitter,
 		MetricName,
+		LockOrder,
+		GoroLeak,
+		UnsafeSend,
 	}
 }

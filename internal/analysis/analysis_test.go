@@ -23,9 +23,11 @@ import (
 const fixtureDir = "testdata/violations"
 
 var fixture struct {
-	once  sync.Once
-	diags []analysis.Diagnostic
-	err   error
+	once   sync.Once
+	pkgs   []*analysis.Package
+	diags  []analysis.Diagnostic
+	unused []analysis.Allow
+	err    error
 }
 
 func fixtureDiags(t *testing.T) []analysis.Diagnostic {
@@ -36,7 +38,8 @@ func fixtureDiags(t *testing.T) []analysis.Diagnostic {
 			fixture.err = err
 			return
 		}
-		fixture.diags = analysis.Run(pkgs, analysis.All())
+		fixture.pkgs = pkgs
+		fixture.diags, fixture.unused = analysis.RunDetail(pkgs, analysis.All())
 	})
 	if fixture.err != nil {
 		t.Fatalf("loading fixture module: %v", fixture.err)
@@ -123,6 +126,65 @@ func TestPanicPathFixture(t *testing.T)    { checkAnalyzer(t, "panicpath") }
 func TestBackoffJitterFixture(t *testing.T) { checkAnalyzer(t, "backoffjitter") }
 
 func TestMetricNameFixture(t *testing.T) { checkAnalyzer(t, "metricname") }
+
+// The whole-program (callgraph + effect summary) analyzers: the fixtures
+// seed cycles and leaks through generic helpers, method values used as
+// callbacks, and closures captured by go statements, so these tests also
+// pin the callgraph's resolution of those shapes.
+
+func TestLockOrderFixture(t *testing.T)  { checkAnalyzer(t, "lockorder") }
+func TestGoroLeakFixture(t *testing.T)   { checkAnalyzer(t, "goroleak") }
+func TestUnsafeSendFixture(t *testing.T) { checkAnalyzer(t, "unsafesend") }
+
+// TestUnusedAllows pins the staleness accounting: the fixture seeds
+// exactly one allow annotation that suppresses nothing.
+func TestUnusedAllows(t *testing.T) {
+	fixtureDiags(t)
+	if len(fixture.unused) != 1 {
+		t.Fatalf("want exactly 1 unused allow, got %v", fixture.unused)
+	}
+	u := fixture.unused[0]
+	if u.Analyzer != "unsafesend" || !strings.HasSuffix(u.Pos.Filename, "chans/chans.go") {
+		t.Fatalf("unexpected unused allow: %+v", u)
+	}
+	if u.Reason == "" {
+		t.Fatalf("unused allow lost its reason: %+v", u)
+	}
+}
+
+// TestFindingsDeterministicOrder pins the reporting order — (file, line,
+// column, analyzer, message) — and that a second run over the same
+// packages reproduces it byte for byte.
+func TestFindingsDeterministicOrder(t *testing.T) {
+	diags := fixtureDiags(t)
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message <= b.Message
+	}) {
+		t.Fatalf("findings not sorted by (file, line, column, analyzer, message):\n%v", diags)
+	}
+	again := analysis.Run(fixture.pkgs, analysis.All())
+	if len(again) != len(diags) {
+		t.Fatalf("re-run produced %d findings, first run %d", len(again), len(diags))
+	}
+	for i := range diags {
+		if diags[i] != again[i] {
+			t.Fatalf("finding %d differs across runs:\n first: %s\nsecond: %s", i, diags[i], again[i])
+		}
+	}
+}
 
 // TestUnknownAnalyzersUnmarked guards against typos in WANT markers.
 func TestUnknownAnalyzersUnmarked(t *testing.T) {

@@ -1,0 +1,347 @@
+// Per-function effect summaries: which mutexes a function acquires
+// (directly and through calls), which channels it closes, sends on and
+// receives from, and which functions it spawns with `go`. Summaries are
+// the vocabulary of the concurrency analyzers (lockorder, goroleak,
+// unsafesend); they are computed once per Program build with a worklist
+// fixpoint for the transitive lock set.
+//
+// Effect keys are strings, for the same reason callgraph identities are:
+// type identity does not hold across independently typechecked units.
+//
+//	mutex/channel field     "<pkgpath>.<Type>.<field>"
+//	package-level var       "<pkgpath>.<name>"
+//	embedded sync.Mutex     "<pkgpath>.<Type>.#embedded"
+//	local var (incl. captured by closures)  "<pkgpath>.<name>@<def offset>"
+//
+// The local-var key is derived from the *definition* position of the
+// types.Var, so a closure that closes a channel captured from its
+// enclosing function and the enclosing function's own sends agree on the
+// key.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Summary is one function's direct and transitive effects.
+type Summary struct {
+	// Acquires are the function's own Lock/RLock sites in source order.
+	Acquires []LockAcq
+	// Trans is the set of lock keys a call to this function may acquire,
+	// including through callees; `go`-spawned functions are excluded
+	// because their acquisitions happen on another goroutine.
+	Trans map[string]bool
+	// Calls are the resolved non-spawn callees (deduped, order of first
+	// appearance).
+	Calls []*Function
+	// Spawns are the functions launched by `go` statements in this body.
+	Spawns []Spawn
+	// Closes / Sends / Recvs are channel effects with resolved keys;
+	// operations whose channel cannot be keyed are dropped.
+	Closes []ChanOp
+	Sends  []ChanOp
+	Recvs  []ChanOp
+}
+
+// LockAcq is one direct mutex acquisition.
+type LockAcq struct {
+	Key  string
+	Read bool // RLock / TryRLock
+	Pos  token.Pos
+}
+
+// Spawn is one `go` statement with a resolved callee.
+type Spawn struct {
+	Callee *Function
+	Pos    token.Pos
+}
+
+// ChanOp is one channel effect (close, send or receive) with its key.
+type ChanOp struct {
+	Key string
+	Pos token.Pos
+}
+
+// buildSummaries fills fn.Summary for every Program function and runs the
+// transitive-lock fixpoint.
+func buildSummaries(prog *Program) {
+	for _, fn := range prog.Order {
+		fn.Summary = collectSummary(prog, fn)
+	}
+	// Fixpoint: Trans(f) ⊇ direct(f) ∪ ⋃ Trans(g) over called g. The
+	// callgraph is small (one module); a simple global iteration converges
+	// in callgraph-depth rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Order {
+			s := fn.Summary
+			for _, callee := range s.Calls {
+				for k := range callee.Summary.Trans {
+					if !s.Trans[k] {
+						s.Trans[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Channel-effect indexes. Closes exclude test-file functions (a
+	// test's teardown close must not flag production sends); recvs keep
+	// everything because they only ever weaken findings.
+	for _, fn := range prog.Order {
+		for _, c := range fn.Summary.Closes {
+			if !fn.testFile {
+				prog.closes[c.Key] = append(prog.closes[c.Key], fn)
+			}
+		}
+		for _, r := range fn.Summary.Recvs {
+			prog.recvs[r.Key] = append(prog.recvs[r.Key], fn)
+		}
+	}
+}
+
+// inspectOwn walks the function's own body in source order without
+// descending into nested function literals — those are Program functions
+// of their own.
+func inspectOwn(fn *Function, visit func(ast.Node) bool) {
+	body := fn.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// goCallsOf returns the set of call expressions that ARE the spawned call
+// of a `go` statement in fn's own body (their effects belong to the new
+// goroutine, not this one; their arguments still evaluate here).
+func goCallsOf(fn *Function) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	inspectOwn(fn, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			out[g.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+func collectSummary(prog *Program, fn *Function) *Summary {
+	s := &Summary{Trans: map[string]bool{}}
+	pkg := fn.Pkg
+	goCalls := goCallsOf(fn)
+	calledKeys := map[string]bool{}
+	inspectOwn(fn, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			for _, callee := range prog.Callees(pkg, e.Call) {
+				s.Spawns = append(s.Spawns, Spawn{Callee: callee, Pos: e.Pos()})
+			}
+		case *ast.CallExpr:
+			if key, acq, ok := lockCall(pkg, e); ok {
+				if acq.acquire {
+					s.Acquires = append(s.Acquires, LockAcq{Key: key, Read: acq.read, Pos: e.Pos()})
+					s.Trans[key] = true
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) == 1 {
+					if key := chanKey(pkg, e.Args[0]); key != "" {
+						s.Closes = append(s.Closes, ChanOp{Key: key, Pos: e.Pos()})
+					}
+					return true
+				}
+			}
+			if goCalls[e] {
+				return true
+			}
+			for _, callee := range prog.Callees(pkg, e) {
+				if !calledKeys[callee.Key] {
+					calledKeys[callee.Key] = true
+					s.Calls = append(s.Calls, callee)
+				}
+			}
+		case *ast.SendStmt:
+			if key := chanKey(pkg, e.Chan); key != "" {
+				s.Sends = append(s.Sends, ChanOp{Key: key, Pos: e.Arrow})
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				if key := chanKey(pkg, e.X); key != "" {
+					s.Recvs = append(s.Recvs, ChanOp{Key: key, Pos: e.Pos()})
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if key := chanKey(pkg, e.X); key != "" {
+						s.Recvs = append(s.Recvs, ChanOp{Key: key, Pos: e.X.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// lockKind describes what a sync mutex method call does.
+type lockKind struct {
+	acquire bool
+	read    bool
+}
+
+var lockMethods = map[string]lockKind{
+	"Lock":     {acquire: true},
+	"RLock":    {acquire: true, read: true},
+	"TryLock":  {acquire: true},
+	"TryRLock": {acquire: true, read: true},
+	"Unlock":   {},
+	"RUnlock":  {read: true},
+}
+
+// lockCall reports whether call is a sync.Mutex / sync.RWMutex /
+// sync.Locker method call, returning the lock's key and kind.
+func lockCall(pkg *Package, call *ast.CallExpr) (key string, kind lockKind, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockKind{}, false
+	}
+	kind, known := lockMethods[sel.Sel.Name]
+	if !known {
+		return "", lockKind{}, false
+	}
+	selInfo, hasSel := pkg.Info.Selections[sel]
+	if !hasSel || selInfo.Kind() != types.MethodVal {
+		return "", lockKind{}, false
+	}
+	m, _ := selInfo.Obj().(*types.Func)
+	if m == nil || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", lockKind{}, false
+	}
+	key = lockKeyOf(pkg, sel.X)
+	if key == "" {
+		return "", lockKind{}, false
+	}
+	return key, kind, true
+}
+
+// lockKeyOf derives the cross-unit identity of the mutex denoted by expr
+// (the receiver of a Lock call).
+func lockKeyOf(pkg *Package, expr ast.Expr) string {
+	e := ast.Unparen(expr)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// Field access s.mu (possibly chained): key on the owning named
+		// type, so every instance of the struct shares the key.
+		if selInfo, ok := pkg.Info.Selections[x]; ok && selInfo.Kind() == types.FieldVal {
+			if name := namedTypeName(selInfo.Recv()); name != "" {
+				return name + "." + x.Sel.Name
+			}
+		}
+		// Qualified package-level var otherpkg.mu.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := identVar(pkg, x)
+		if !ok {
+			return ""
+		}
+		if isPkgLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// b.Lock() where b's type embeds sync.Mutex: key on b's named
+		// type rather than the variable.
+		if name := namedTypeName(v.Type()); name != "" && !isSyncType(v.Type()) {
+			return name + ".#embedded"
+		}
+		return localKey(pkg, v)
+	}
+	return ""
+}
+
+// chanKey derives the cross-unit identity of the channel denoted by expr,
+// or "" when no stable identity exists (call results, map/slice elements).
+func chanKey(pkg *Package, expr ast.Expr) string {
+	e := ast.Unparen(expr)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := pkg.Info.Selections[x]; ok && selInfo.Kind() == types.FieldVal {
+			if name := namedTypeName(selInfo.Recv()); name != "" {
+				return name + "." + x.Sel.Name
+			}
+			return ""
+		}
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := identVar(pkg, x)
+		if !ok {
+			return ""
+		}
+		if isPkgLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return localKey(pkg, v)
+	}
+	return ""
+}
+
+func identVar(pkg *Package, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// isPkgLevel reports whether v is a package-level variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// localKey identifies a local variable by its definition site, so the
+// enclosing function and closures capturing the variable agree.
+func localKey(pkg *Package, v *types.Var) string {
+	p := pkg.Fset.Position(v.Pos())
+	path := ""
+	if v.Pkg() != nil {
+		path = v.Pkg().Path()
+	}
+	return fmt.Sprintf("%s.%s@%s:%d", path, v.Name(), shortFile(p.Filename), p.Offset)
+}
+
+// namedTypeName renders the (pointer-stripped) named type of t as
+// "<pkgpath>.<Name>", or "" if t is not named.
+func namedTypeName(t types.Type) string {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func isSyncType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

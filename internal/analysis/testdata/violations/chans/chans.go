@@ -1,0 +1,54 @@
+// Package chans seeds unsafesend violations: sends racing a close owned
+// by a different function. Same-function close-after-send (the ordinary
+// producer pattern) must stay silent.
+package chans
+
+// Q is a queue whose Close and Push race: a close landing mid-send panics.
+type Q struct {
+	ch chan int
+}
+
+// NewQ sizes the queue.
+func NewQ(n int) *Q { return &Q{ch: make(chan int, n)} }
+
+// Close terminates the stream.
+func (q *Q) Close() { close(q.ch) }
+
+// Push sends with no synchronization against Close.
+func (q *Q) Push(v int) {
+	q.ch <- v // WANT:unsafesend
+}
+
+// TryPush is equally unsafe: select-with-default still panics if the
+// close lands first.
+func (q *Q) TryPush(v int) bool {
+	select {
+	case q.ch <- v: // WANT:unsafesend
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain receives until Close: receiving from a closed channel is safe.
+// The allow below suppresses nothing — it seeds the -unused-allows check.
+func (q *Q) Drain() int {
+	t := 0 // dcfvet:allow unsafesend=stale: the send this excused moved away
+	for v := range q.ch {
+		t += v
+	}
+	return t
+}
+
+// Produce owns its channel end to end: all sends and the close live in
+// one function, so no unsafesend finding.
+func Produce(n int) chan int {
+	out := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+	return out
+}

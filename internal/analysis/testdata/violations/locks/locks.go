@@ -1,0 +1,143 @@
+// Package locks seeds lockorder violations: mutex pairs acquired in
+// opposite orders across functions. The cycle legs deliberately exercise
+// the callgraph's resolution corners — a plain call, a generic helper
+// (the instantiation must collapse to its Origin), and a method value
+// passed as a callback (signature-matched against address-taken funcs).
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+type I struct{ mu sync.Mutex }
+type J struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+	c C
+	d D
+	e E
+	f F
+	g G
+	h H
+	i I
+	j J
+)
+
+// --- cycle 1: A <-> B, forward leg through a plain call, reverse leg
+// through a generic helper.
+
+// ForwardAB holds a and then acquires b through lockB.
+func ForwardAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockB() // WANT:lockorder
+}
+
+func lockB() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// withA is a generic helper acquiring a.mu; calls of it must resolve to
+// this generic origin regardless of the instantiated type argument.
+func withA[T any](x *A, fn func() T) T {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return fn()
+}
+
+// ReverseBA holds b and then acquires a through the generic helper.
+func ReverseBA() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return withA(&a, func() int { return 1 })
+}
+
+// --- cycle 2: C <-> D entirely inline.
+
+// InlineCD nests d inside c.
+func InlineCD() {
+	c.mu.Lock()
+	d.mu.Lock() // WANT:lockorder
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// InlineDC nests c inside d: the inversion.
+func InlineDC() {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// --- cycle 3: E <-> F, the forward leg routed through a method value
+// used as a callback.
+
+type worker struct{}
+
+// lockF acquires f.mu; its method value below is the callback.
+func (worker) lockF() {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// invoke calls its callback; the callgraph resolves fn() by signature
+// match against address-taken functions in this package.
+func invoke(fn func()) { fn() }
+
+// ForwardEF holds e and invokes the method value that locks f.
+func ForwardEF() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	invoke(worker{}.lockF) // WANT:lockorder
+}
+
+// ReverseFE holds f then takes e directly.
+func ReverseFE() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// --- consistent pair: G before H everywhere; must NOT be flagged.
+
+func BothGH() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+func AlsoGH() {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// --- allowed pair: a real inversion suppressed by annotation, pinning
+// that whole-program findings respect dcfvet:allow.
+
+func AllowedIJ() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	j.mu.Lock() // dcfvet:allow lockorder=seeded: pins allow filtering for program analyzers
+	j.mu.Unlock()
+}
+
+func AllowedJI() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i.mu.Lock()
+	i.mu.Unlock()
+}

@@ -266,7 +266,7 @@ func closedLoop(workers, perWorker int, step func() (lat, qd time.Duration, err 
 			for j := 0; j < perWorker; j++ {
 				lat, qd, err := step()
 				if err != nil {
-					errs <- err
+					errs <- err // dcfvet:allow unsafesend=buffered to worker count; the close happens only after wg.Wait has serialized every send before it
 					return
 				}
 				if lat > 0 {

@@ -90,7 +90,7 @@ func Serving(ctx context.Context, cfg ServingConfig, w io.Writer) ([]ServingRow,
 				defer wg.Done()
 				for j := 0; j < cfg.StepsPerWorker; j++ {
 					if err := step(); err != nil {
-						errs <- err
+						errs <- err // dcfvet:allow unsafesend=buffered to worker count; the close happens only after wg.Wait has serialized every send before it
 						return
 					}
 				}

@@ -213,12 +213,12 @@ func (s *stream) loop() {
 
 // enqueue schedules a delay-only task (transfers).
 func (s *stream) enqueue(name string, delay time.Duration, done func()) {
-	s.tasks <- streamTask{name: name, delay: delay, done: done}
+	s.tasks <- streamTask{name: name, delay: delay, done: done} // dcfvet:allow unsafesend=single-owner lifecycle; close runs only from Device.Close at teardown, after the session stops enqueuing
 }
 
 // enqueueFn schedules a compute task.
 func (s *stream) enqueueFn(name string, delay time.Duration, fn, done func()) {
-	s.tasks <- streamTask{name: name, delay: delay, fn: fn, done: done}
+	s.tasks <- streamTask{name: name, delay: delay, fn: fn, done: done} // dcfvet:allow unsafesend=single-owner lifecycle; close runs only from Device.Close at teardown, after the session stops enqueuing
 }
 
 func (s *stream) close() {

@@ -568,7 +568,7 @@ func (c *TCPCluster) runStep(ctx context.Context, feeds map[string]*tensor.Tenso
 	agg := make(chan namedResp, len(launched))
 	for _, wc := range launched {
 		wc := wc
-		go func() { agg <- namedResp{name: wc.name, r: <-wc.ch} }()
+		go func() { agg <- namedResp{name: wc.name, r: <-wc.ch} }() // dcfvet:allow goroleak=wc.ch is cap-1 and always answered exactly once: readLoop delivers the response or fail() drains pending on connection loss
 	}
 	var firstErr error
 	aborted := false

@@ -12,7 +12,43 @@ import (
 var (
 	metricPoolHits   = metrics.Default().Counter("tensor_pool_hits_total")
 	metricPoolMisses = metrics.Default().Counter("tensor_pool_misses_total")
+
+	// Payload accounting: live is bytes handed out by Alloc and not yet
+	// Recycled, peak is its high-water mark. Payload means requested
+	// element bytes, not the power-of-two class capacity, so the numbers
+	// compare directly against verify.EstimateMemory's static bound
+	// (which sums exact tensor sizes). Buffers that leave the ownership
+	// system — multi-consumer fan-out, fetched values, tensors retained
+	// by resources — are reclaimed by the GC instead of Recycle and stay
+	// counted until ResetPoolWater, so over a long process the live gauge
+	// drifts upward; per-step measurements bracket it with ResetPoolWater.
+	metricPoolLive = metrics.Default().Gauge("tensor_pool_live_bytes")
+	metricPoolPeak = metrics.Default().Gauge("tensor_pool_peak_bytes")
 )
+
+// elemBytes is the per-element storage cost of a pooled dtype.
+func elemBytes(dtype DType) int64 {
+	if dtype == Bool {
+		return 1
+	}
+	return 8 // float64 / int64
+}
+
+// PoolLiveBytes reports the pool's outstanding payload bytes (Alloc minus
+// Recycle since process start or the last ResetPoolWater).
+func PoolLiveBytes() int64 { return metricPoolLive.Value() }
+
+// PoolPeakBytes reports the high-water mark of PoolLiveBytes.
+func PoolPeakBytes() int64 { return metricPoolPeak.Value() }
+
+// ResetPoolWater zeroes the live/peak payload accounting. Tests bracket a
+// measured region with it; buffers allocated before the reset that are
+// recycled inside the region drive the live gauge negative, which only
+// lowers the observed peak (the conservative direction for bound checks).
+func ResetPoolWater() {
+	metricPoolLive.Set(0)
+	metricPoolPeak.Set(0)
+}
 
 // Buffer pool: size-classed free lists of whole tensors (struct, shape
 // slice, and backing storage together), one set of power-of-two classes per
@@ -70,6 +106,9 @@ func Alloc(dtype DType, shape ...int) *Tensor {
 	if c >= poolClasses {
 		return New(dtype, shape...)
 	}
+	bytes := int64(n) * elemBytes(dtype)
+	metricPoolLive.Add(bytes)
+	metricPoolPeak.SetMax(metricPoolLive.Value())
 	if v := tensorPools[dtype][c].Get(); v != nil {
 		metricPoolHits.Inc()
 		t := v.(*Tensor)
@@ -121,6 +160,7 @@ func Recycle(t *Tensor) {
 	if t == nil || t.dtype < Float || t.dtype > Bool {
 		return
 	}
+	metricPoolLive.Add(-int64(NumElements(t.shape)) * elemBytes(t.dtype))
 	var c int
 	switch t.dtype {
 	case Float:

@@ -1,0 +1,1147 @@
+// Static peak-memory estimation: a tensor liveness pass over verified
+// graphs that bounds, per node, how many tensor bytes can be resident at
+// the instant that node executes, and takes the maximum as the step's peak.
+//
+// The bound is for the *most parallel* execution the executor permits: an
+// edge's value is counted live at node n unless it provably cannot coexist
+// with n's execution — either its producer is a strict descendant of n
+// (not yet produced) or every consumer is a strict ancestor of n (already
+// consumed). Loop-frame values are multiplied by the frame's iteration
+// window (parallel_iterations), because that many iterations' copies can
+// be in flight at once. At the true peak instant some node is executing,
+// so max-over-nodes of the per-node clique is a sound upper bound.
+//
+// Unknown dimensions do not break the analysis: every cost splits into a
+// statically known factor and symbolic factors — "rows" (the product of
+// unknown dims, typically the batch size) and "iters" (loop trip count,
+// for stack- and tensor-array-accumulated gradient state). The caller
+// resolves the symbols with Bound(rows, iters).
+//
+// The pass never runs on the step path: it is invoked from dcfgraph
+// -analyze, tests, and (eventually) the budgeted-allocator planner.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// MemOptions configures one EstimateMemory run.
+type MemOptions struct {
+	// Check selects the node set / run signature exactly like Check.
+	// Fetched outputs are kept live to the end of the step.
+	Check Options
+
+	// DefaultWindow is the loop iteration window assumed for frames whose
+	// Enters carry no parallel_iterations attribute; 0 means 32, the
+	// executor's own default.
+	DefaultWindow int
+}
+
+// MemEstimate is the static peak-resident-bytes bound for one node set.
+// The total bound is FixedBytes + rows·PerRowBytes + iters·PerIterBytes +
+// rows·iters·PerRowIterBytes, where rows is the product of the graph's
+// unknown (batch-like) dimensions and iters the loop trip count.
+type MemEstimate struct {
+	FixedBytes      int64 // statically known peak bytes
+	PerRowBytes     int64 // coefficient of unknown-dimension product
+	PerIterBytes    int64 // coefficient of loop trip count (stack/TA growth)
+	PerRowIterBytes int64 // coefficient of rows·iters
+
+	// StepBytes of FixedBytes (and StepPerRow/StepPerIter of the matching
+	// coefficients) are resident for the whole step regardless of
+	// schedule: tensor-array element storage and similar per-step
+	// resources. They are included in the totals above.
+	StepBytes int64
+
+	// PeakNode/PeakOp/PeakFrame identify the node whose live set attains
+	// the (rows=1) maximum; Contributors lists that node's live edges,
+	// largest first.
+	PeakNode     string
+	PeakOp       string
+	PeakFrame    string
+	Contributors []EdgeMem
+
+	// Nodes is the per-node table in topological order.
+	Nodes []NodeMem
+}
+
+// NodeMem is one row of the per-node residency table: the bytes that can
+// be live at the instant this node executes (step-wide resources included).
+type NodeMem struct {
+	Node       string
+	Op         string
+	Frame      string
+	Window     int   // iteration-window product of the node's frame chain
+	FixedBytes int64 // known live bytes at this node
+	PerRow     int64 // plus this per unknown-dim product ("row")
+}
+
+// EdgeMem is one live value contributing to a node's residency.
+type EdgeMem struct {
+	Edge   string // "node:port", or a resource label like "ta/name"
+	Op     string
+	Bytes  int64 // known bytes (already multiplied by Window)
+	PerRow int64 // symbolic per-row bytes (already multiplied by Window)
+	Window int
+}
+
+// Bound resolves the symbolic factors: rows is the runtime product of the
+// unknown dimensions (batch size for a [-1, d] placeholder), iters the
+// loop trip count. Either may be 0 when the graph has no such symbol.
+func (m *MemEstimate) Bound(rows, iters int64) int64 {
+	return m.FixedBytes + rows*m.PerRowBytes + iters*m.PerIterBytes + rows*iters*m.PerRowIterBytes
+}
+
+// Finite reports whether the bound is fully static: no symbolic per-row or
+// per-iteration component survives shape inference.
+func (m *MemEstimate) Finite() bool {
+	return m.PerRowBytes == 0 && m.PerIterBytes == 0 && m.PerRowIterBytes == 0
+}
+
+func (m *MemEstimate) String() string {
+	s := fmt.Sprintf("peak %d B", m.FixedBytes)
+	if m.PerRowBytes > 0 {
+		s += fmt.Sprintf(" + %d B/row", m.PerRowBytes)
+	}
+	if m.PerIterBytes > 0 {
+		s += fmt.Sprintf(" + %d B/iter", m.PerIterBytes)
+	}
+	if m.PerRowIterBytes > 0 {
+		s += fmt.Sprintf(" + %d B/(row·iter)", m.PerRowIterBytes)
+	}
+	return s
+}
+
+// EstimateMemory runs the structural prelude (structure, topo, frames,
+// type inference) and the liveness analysis on one node set. A graph that
+// fails structurally (a cycle outside NextIteration) returns a nil
+// estimate with the diagnostics; other diagnostics ride along without
+// blocking estimation.
+func EstimateMemory(g *graph.Graph, opts MemOptions) (*MemEstimate, Diagnostics) {
+	nodes := opts.Check.Nodes
+	if nodes == nil {
+		nodes = g.Nodes()
+	}
+	c := &checker{g: g, nodes: nodes, opts: opts.Check}
+	c.checkStructure()
+	order, ok := c.topo()
+	if !ok {
+		sortDiags(c.diags)
+		return nil, c.diags
+	}
+	c.order = order
+	c.assignFrames()
+	c.checkFrames()
+	c.inferTypes()
+
+	m := &memAnalyzer{c: c, defaultWindow: opts.DefaultWindow}
+	if m.defaultWindow <= 0 {
+		m.defaultWindow = 32
+	}
+	est := m.run()
+	sortDiags(c.diags)
+	return est, c.diags
+}
+
+// EstimateMemoryPartitions estimates each partition of a placed graph
+// independently (the CheckPartitions shape): the result maps partition
+// key (worker name) to its bound. The per-worker bound is what a budgeted
+// allocator on that worker would enforce.
+func EstimateMemoryPartitions(g *graph.Graph, parts map[string][]*graph.Node, opts MemOptions) map[string]*MemEstimate {
+	out := make(map[string]*MemEstimate, len(parts))
+	for key, nodes := range parts {
+		po := opts
+		po.Check.Nodes = nodes
+		po.Check.Complete = false
+		est, _ := EstimateMemory(g, po)
+		out[key] = est
+	}
+	return out
+}
+
+// cost is one value's memory footprint: fixed bytes plus symbolic factors.
+type cost struct {
+	bytes int64
+	rows  bool // multiplied by the unknown-dimension product
+	iters bool // multiplied by the loop trip count
+}
+
+// memAnalyzer carries the liveness computation for one node set.
+type memAnalyzer struct {
+	c             *checker
+	defaultWindow int
+
+	idx map[int]int // node id -> topo index
+
+	// Extended inference state (memory-only; Check diagnostics are not
+	// affected): refined output types, constant scalar ints, constant
+	// shape vectors, resource identities, and per-resource element info.
+	xt       map[graph.Output]typeInfo
+	constInt map[graph.Output]int64
+	shapeVal map[graph.Output][]int
+	resOf    map[graph.Output]string
+	tas      map[string]*taState
+	stacks   map[string]*typeInfo // stack id -> joined pushed-value type
+	varShape map[string]typeInfo
+}
+
+// taState is what inference knows about one TensorArray resource.
+type taState struct {
+	node  *graph.Node // creating node (for reporting)
+	elem  typeInfo    // joined element type
+	count int64       // element count; -1 unknown
+}
+
+func (m *memAnalyzer) run() *MemEstimate {
+	c := m.c
+	m.idx = make(map[int]int, len(c.order))
+	for i, n := range c.order {
+		m.idx[n.ID()] = i
+	}
+	m.inferExtended()
+
+	// Strict-ancestor bitsets over the topo order, back edges excluded
+	// (the same edge relation topoNodes used).
+	anc := make([]bitset, len(c.order))
+	for i, n := range c.order {
+		b := newBitset(len(c.order))
+		if !graph.IsBackEdgeOp(n.Op()) {
+			for _, in := range n.InputsRef() {
+				if j, ok := m.idx[in.Node.ID()]; ok {
+					b.set(j)
+					b.or(anc[j])
+				}
+			}
+			for _, ctl := range n.ControlInputsRef() {
+				if j, ok := m.idx[ctl.ID()]; ok {
+					b.set(j)
+					b.or(anc[j])
+				}
+			}
+		}
+		anc[i] = b
+	}
+
+	fetched := map[graph.Output]bool{}
+	for _, f := range c.opts.Fetches {
+		if f.Node != nil {
+			fetched[graph.Output{Node: f.Node, Index: f.Index}] = true
+		}
+	}
+
+	// Edge list: every produced output with its consumer set.
+	type edge struct {
+		out       graph.Output
+		cost      cost
+		window    int64
+		producer  int   // topo index
+		consumers []int // topo indices, deduped
+		fetched   bool
+	}
+	var edges []edge
+	consumersOf := map[graph.Output]map[int]bool{}
+	for _, n := range c.order {
+		i := m.idx[n.ID()]
+		for _, in := range n.InputsRef() {
+			if _, ok := m.idx[in.Node.ID()]; !ok {
+				continue
+			}
+			set := consumersOf[in]
+			if set == nil {
+				set = map[int]bool{}
+				consumersOf[in] = set
+			}
+			set[i] = true
+		}
+	}
+	for _, n := range c.order {
+		i := m.idx[n.ID()]
+		for port := 0; port < n.NumOutputs(); port++ {
+			out := graph.Output{Node: n, Index: port}
+			co := m.costOf(out)
+			if co.bytes == 0 && !co.rows {
+				continue // resources, untracked flow scalars rounded to 0
+			}
+			var cons []int
+			for j := range consumersOf[out] {
+				cons = append(cons, j)
+			}
+			sort.Ints(cons)
+			edges = append(edges, edge{
+				out: out, cost: co, window: m.windowProd(n),
+				producer: i, consumers: cons, fetched: fetched[out],
+			})
+		}
+	}
+
+	// Step-wide resources: tensor-array element storage (count × elem) and
+	// stack growth (bytes per push per iteration).
+	var stepFixed, stepPerRow, stepPerIter, stepPerRowIter int64
+	var stepContribs []EdgeMem
+	taIDs := make([]string, 0, len(m.tas))
+	for id := range m.tas {
+		taIDs = append(taIDs, id)
+	}
+	sort.Strings(taIDs)
+	for _, id := range taIDs {
+		ta := m.tas[id]
+		ec := m.elemCost(ta.elem)
+		em := EdgeMem{Edge: id, Op: "TensorArray", Window: 1}
+		switch {
+		case ta.count >= 0 && !ec.rows:
+			stepFixed += ta.count * ec.bytes
+			em.Bytes = ta.count * ec.bytes
+		case ta.count >= 0:
+			stepPerRow += ta.count * ec.bytes
+			em.PerRow = ta.count * ec.bytes
+		case !ec.rows:
+			stepPerIter += ec.bytes
+		default:
+			stepPerRowIter += ec.bytes
+		}
+		if em.Bytes > 0 || em.PerRow > 0 {
+			stepContribs = append(stepContribs, em)
+		}
+	}
+	for _, n := range c.order {
+		if n.Op() != "StackPush" {
+			continue
+		}
+		vc := m.costOf(graph.Output{Node: n, Index: 0}) // out0 echoes the pushed value
+		if vc.rows {
+			stepPerRowIter += vc.bytes
+		} else {
+			stepPerIter += vc.bytes
+		}
+	}
+
+	// Per-node residency: for each node, sum the edges live at it.
+	est := &MemEstimate{
+		StepBytes:       stepFixed,
+		PerIterBytes:    stepPerIter,
+		PerRowIterBytes: stepPerRowIter,
+	}
+	var peakFixed, peakRow int64
+	peakIdx := -1
+	est.Nodes = make([]NodeMem, len(c.order))
+	for i, n := range c.order {
+		var fixed, perRow int64
+		for _, e := range edges {
+			if !m.liveAt(e.producer, e.consumers, e.fetched, i, anc) {
+				continue
+			}
+			if e.cost.iters {
+				continue // accumulated in the step-wide terms
+			}
+			b := e.cost.bytes * e.window
+			if e.cost.rows {
+				perRow += b
+			} else {
+				fixed += b
+			}
+		}
+		fixed += stepFixed
+		perRow += stepPerRow
+		nm := NodeMem{
+			Node: n.Name(), Op: n.Op(), Window: int(m.windowProd(n)),
+			FixedBytes: fixed, PerRow: perRow,
+		}
+		if f := c.frameOf[n.ID()]; f != nil {
+			nm.Frame = f.name
+		}
+		est.Nodes[i] = nm
+		if fixed+perRow > peakFixed+peakRow || peakIdx < 0 {
+			peakFixed, peakRow, peakIdx = fixed, perRow, i
+		}
+	}
+	// Sound peak: componentwise max (≥ max of any rows-weighted sum).
+	for _, nm := range est.Nodes {
+		if nm.FixedBytes > est.FixedBytes {
+			est.FixedBytes = nm.FixedBytes
+		}
+		if nm.PerRow > est.PerRowBytes {
+			est.PerRowBytes = nm.PerRow
+		}
+	}
+	if peakIdx >= 0 {
+		pn := c.order[peakIdx]
+		est.PeakNode, est.PeakOp = pn.Name(), pn.Op()
+		if f := c.frameOf[pn.ID()]; f != nil {
+			est.PeakFrame = f.name
+		}
+		for _, e := range edges {
+			if !m.liveAt(e.producer, e.consumers, e.fetched, peakIdx, anc) || e.cost.iters {
+				continue
+			}
+			em := EdgeMem{
+				Edge: e.out.String(), Op: e.out.Node.Op(), Window: int(e.window),
+			}
+			if e.cost.rows {
+				em.PerRow = e.cost.bytes * e.window
+			} else {
+				em.Bytes = e.cost.bytes * e.window
+			}
+			est.Contributors = append(est.Contributors, em)
+		}
+		est.Contributors = append(est.Contributors, stepContribs...)
+		sort.SliceStable(est.Contributors, func(a, b int) bool {
+			x, y := est.Contributors[a], est.Contributors[b]
+			if x.Bytes+x.PerRow != y.Bytes+y.PerRow {
+				return x.Bytes+x.PerRow > y.Bytes+y.PerRow
+			}
+			return x.Edge < y.Edge
+		})
+	}
+	return est
+}
+
+// liveAt decides whether the edge produced at topo index p with the given
+// consumer indices can be resident while node n executes.
+func (m *memAnalyzer) liveAt(p int, consumers []int, fetched bool, n int, anc []bitset) bool {
+	if p == n {
+		return true // being produced right now
+	}
+	if anc[p].has(n) {
+		return false // producer strictly after n: not yet produced
+	}
+	if fetched {
+		return true // pinned to the end of the step
+	}
+	if len(consumers) == 0 {
+		return false // dropped immediately after production
+	}
+	for _, ci := range consumers {
+		if ci == n || !anc[n].has(ci) {
+			return true // some consumer has not provably finished
+		}
+	}
+	return false
+}
+
+// windowProd is the product of iteration windows along the node's frame
+// chain: how many copies of a per-iteration value can be in flight.
+func (m *memAnalyzer) windowProd(n *graph.Node) int64 {
+	prod := int64(1)
+	f := m.c.frameOf[n.ID()]
+	for limit := len(m.c.nodes) + 2; f != nil && limit > 0; limit-- {
+		w := 0
+		for _, e := range f.enters {
+			if p := e.AttrInt("parallel_iterations"); p > w {
+				w = p
+			}
+		}
+		if w <= 0 {
+			w = m.defaultWindow
+		}
+		prod *= int64(w)
+		f = f.parent
+	}
+	return prod
+}
+
+// elemBytesOf is the storage cost per element for a dtype (unknown dtypes
+// assume 8, the widest pooled element).
+func elemBytesOf(t typeInfo) int64 {
+	if t.dtOK && t.dt == tensor.Bool {
+		return 1
+	}
+	return 8
+}
+
+// elemCost turns a typeInfo into a cost: fully known shapes are fixed
+// bytes; unknown dims contribute their known-dim product as a per-row
+// coefficient; unknown rank costs one element per row.
+func (m *memAnalyzer) elemCost(t typeInfo) cost {
+	eb := elemBytesOf(t)
+	if !t.rankOK {
+		return cost{bytes: eb, rows: true}
+	}
+	prod, rows := int64(1), false
+	for _, d := range t.shape {
+		if d < 0 {
+			rows = true
+		} else {
+			prod *= int64(d)
+		}
+	}
+	return cost{bytes: prod * eb, rows: rows}
+}
+
+// costOf is the footprint of one output port. Resource handles and flow
+// tokens cost nothing; everything else costs its (possibly refined) shape.
+func (m *memAnalyzer) costOf(out graph.Output) cost {
+	if m.resOf[out] != "" {
+		return cost{}
+	}
+	return m.elemCost(m.xt[out])
+}
+
+// --- extended, memory-only shape inference -------------------------------
+
+// inferExtended refines c.types with rules the step-blocking verifier does
+// not need: variable shapes learned from assignments, tensor-array element
+// propagation through resource handles, constant-shape/size propagation,
+// and the array ops (Reshape, Pack, Concat, ...). It iterates to a
+// practical fixpoint; no diagnostics are emitted.
+func (m *memAnalyzer) inferExtended() {
+	c := m.c
+	m.xt = make(map[graph.Output]typeInfo, len(c.types))
+	for k, v := range c.types {
+		m.xt[k] = v
+	}
+	m.constInt = map[graph.Output]int64{}
+	m.shapeVal = map[graph.Output][]int{}
+	m.resOf = map[graph.Output]string{}
+	m.tas = map[string]*taState{}
+	m.stacks = map[string]*typeInfo{}
+	m.varShape = map[string]typeInfo{}
+
+	// Variable shapes: any shape-preserving write names the var's shape.
+	for _, n := range c.order {
+		switch n.Op() {
+		case "Assign", "AssignAdd", "AssignSub", "ApplyGradientDescent":
+			name := n.AttrString("var")
+			if name == "" {
+				continue
+			}
+			if t := c.types[inOutput(n, 0)]; t.rankOK {
+				if prev, ok := m.varShape[name]; ok {
+					if j, okj := join(prev, t); okj {
+						m.varShape[name] = j
+					}
+				} else {
+					m.varShape[name] = t
+				}
+			}
+		}
+	}
+
+	for round := 0; round < 6; round++ {
+		before := len(m.xt) + len(m.constInt) + len(m.shapeVal) + len(m.resOf)
+		changed := false
+		for _, n := range c.order {
+			if m.inferNodeExtended(n) {
+				changed = true
+			}
+		}
+		if !changed && len(m.xt)+len(m.constInt)+len(m.shapeVal)+len(m.resOf) == before {
+			break
+		}
+	}
+}
+
+func inOutput(n *graph.Node, i int) graph.Output {
+	ins := n.InputsRef()
+	if i < 0 || i >= len(ins) {
+		return graph.Output{}
+	}
+	return ins[i]
+}
+
+// xin is the refined view of data input i.
+func (m *memAnalyzer) xin(n *graph.Node, i int) typeInfo {
+	return m.xt[inOutput(n, i)]
+}
+
+// setX records a refined output type; returns true if it added knowledge.
+func (m *memAnalyzer) setX(n *graph.Node, port int, t typeInfo) bool {
+	out := graph.Output{Node: n, Index: port}
+	old, ok := m.xt[out]
+	if ok && old.rankOK == t.rankOK && old.dtOK == t.dtOK && sameShape(old.shape, t.shape) {
+		return false
+	}
+	// Only overwrite when strictly more is known (monotonic refinement).
+	if ok && old.rankOK && !t.rankOK {
+		return false
+	}
+	if ok && old.rankOK && t.rankOK && knownDims(old.shape) > knownDims(t.shape) {
+		return false
+	}
+	if ok && old.dtOK && !t.dtOK {
+		t.dt, t.dtOK = old.dt, old.dtOK
+	}
+	m.xt[out] = t
+	return true
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func knownDims(s []int) int {
+	k := 0
+	for _, d := range s {
+		if d >= 0 {
+			k++
+		}
+	}
+	return k
+}
+
+func (m *memAnalyzer) setConst(n *graph.Node, port int, v int64) bool {
+	out := graph.Output{Node: n, Index: port}
+	if old, ok := m.constInt[out]; ok && old == v {
+		return false
+	}
+	m.constInt[out] = v
+	return true
+}
+
+func (m *memAnalyzer) setShapeVal(n *graph.Node, port int, s []int) bool {
+	out := graph.Output{Node: n, Index: port}
+	if old, ok := m.shapeVal[out]; ok && sameShape(old, s) {
+		return false
+	}
+	m.shapeVal[out] = s
+	return true
+}
+
+func (m *memAnalyzer) setRes(n *graph.Node, port int, id string) bool {
+	out := graph.Output{Node: n, Index: port}
+	if m.resOf[out] == id {
+		return false
+	}
+	m.resOf[out] = id
+	return true
+}
+
+// ta returns (creating) the state for a tensor-array resource id.
+func (m *memAnalyzer) ta(id string, n *graph.Node) *taState {
+	s := m.tas[id]
+	if s == nil {
+		s = &taState{node: n, count: -1}
+		m.tas[id] = s
+	}
+	return s
+}
+
+// joinTAElem merges a written element type into the array's element type.
+func (s *taState) joinTAElem(t typeInfo) bool {
+	if !t.rankOK {
+		return false
+	}
+	if !s.elem.rankOK {
+		s.elem = t
+		return true
+	}
+	if j, ok := join(s.elem, t); ok && !sameShape(j.shape, s.elem.shape) {
+		s.elem = j
+		return true
+	}
+	return false
+}
+
+var scalarFloat = typeInfo{dt: tensor.Float, dtOK: true, shape: []int{}, rankOK: true}
+
+// inferNodeExtended applies one node's extended rules; reports whether any
+// state changed.
+func (m *memAnalyzer) inferNodeExtended(n *graph.Node) bool {
+	changed := false
+	op := n.Op()
+	switch op {
+	case "Const":
+		t, _ := n.Attr("value").(*tensor.Tensor)
+		if t == nil {
+			break
+		}
+		if t.DType() == tensor.Int {
+			if len(t.ShapeRef()) == 0 && len(t.I) == 1 {
+				changed = m.setConst(n, 0, t.I[0]) || changed
+			}
+			if len(t.ShapeRef()) == 1 {
+				s := make([]int, len(t.I))
+				for i, v := range t.I {
+					s[i] = int(v)
+				}
+				changed = m.setShapeVal(n, 0, s) || changed
+			}
+		}
+	case "Identity", "StopGradient", "Enter", "Exit", "NextIteration":
+		changed = m.passthrough(n, 0, 0) || changed
+	case "Merge":
+		// A Merge over arms that agree on resource identity or constant
+		// propagates it; conservative otherwise.
+		changed = m.passthroughJoin(n) || changed
+	case "Switch":
+		changed = m.passthrough(n, 0, 0) || changed
+		changed = m.passthrough(n, 0, 1) || changed
+	case "Shape":
+		if in := m.xin(n, 0); dimsKnown(in) {
+			changed = m.setShapeVal(n, 0, append([]int(nil), in.shape...)) || changed
+		}
+		// Refine the Shape output itself when only the rank was unknown.
+		if in := m.xin(n, 0); in.rankOK {
+			changed = m.setX(n, 0, typeInfo{dt: tensor.Int, dtOK: true, shape: []int{len(in.shape)}, rankOK: true}) || changed
+		}
+	case "Size":
+		if in := m.xin(n, 0); dimsKnown(in) {
+			total := int64(1)
+			for _, d := range in.shape {
+				total *= int64(d)
+			}
+			changed = m.setConst(n, 0, total) || changed
+		}
+	case "Reshape":
+		changed = m.inferReshape(n) || changed
+	case "Fill":
+		if s, ok := m.shapeVal[inOutput(n, 0)]; ok {
+			t := typeInfo{shape: append([]int(nil), s...), rankOK: true}
+			if v := m.xin(n, 1); v.dtOK {
+				t.dt, t.dtOK = v.dt, true
+			}
+			changed = m.setX(n, 0, t) || changed
+		}
+	case "BroadcastTo", "UnbroadcastTo":
+		if s, ok := m.shapeVal[inOutput(n, 1)]; ok {
+			t := typeInfo{shape: append([]int(nil), s...), rankOK: true}
+			if v := m.xin(n, 0); v.dtOK {
+				t.dt, t.dtOK = v.dt, true
+			}
+			changed = m.setX(n, 0, t) || changed
+		}
+	case "Pack":
+		ins := n.InputsRef()
+		if len(ins) == 0 {
+			break
+		}
+		elem := m.xt[ins[0]]
+		okAll := elem.rankOK
+		for i := 1; i < len(ins) && okAll; i++ {
+			next := m.xt[ins[i]]
+			if !next.rankOK {
+				okAll = false
+				break
+			}
+			if j, ok := join(elem, next); ok {
+				elem = j
+			} else {
+				okAll = false
+			}
+		}
+		if okAll {
+			t := typeInfo{dt: elem.dt, dtOK: elem.dtOK, rankOK: true,
+				shape: append([]int{len(ins)}, elem.shape...)}
+			changed = m.setX(n, 0, t) || changed
+		}
+	case "Unpack":
+		in := m.xin(n, 0)
+		if in.rankOK && len(in.shape) >= 1 {
+			t := typeInfo{dt: in.dt, dtOK: in.dtOK, rankOK: true,
+				shape: append([]int(nil), in.shape[1:]...)}
+			for port := 0; port < n.NumOutputs(); port++ {
+				changed = m.setX(n, port, t) || changed
+			}
+		}
+	case "Split":
+		in := m.xin(n, 0)
+		num, axis := n.AttrInt("num"), n.AttrInt("axis")
+		if in.rankOK && num > 0 && axis >= 0 && axis < len(in.shape) {
+			s := append([]int(nil), in.shape...)
+			if s[axis] >= 0 && s[axis]%num == 0 {
+				s[axis] /= num
+			} else {
+				s[axis] = -1
+			}
+			t := typeInfo{dt: in.dt, dtOK: in.dtOK, shape: s, rankOK: true}
+			for port := 0; port < n.NumOutputs(); port++ {
+				changed = m.setX(n, port, t) || changed
+			}
+		}
+	case "Concat":
+		changed = m.inferConcat(n) || changed
+	case "Gather":
+		x, ix := m.xin(n, 0), m.xin(n, 1)
+		if x.rankOK && len(x.shape) >= 1 && ix.rankOK {
+			s := append(append([]int(nil), ix.shape...), x.shape[1:]...)
+			changed = m.setX(n, 0, typeInfo{dt: x.dt, dtOK: x.dtOK, shape: s, rankOK: true}) || changed
+		}
+	case "SliceRows":
+		x := m.xin(n, 0)
+		if x.rankOK && len(x.shape) >= 1 {
+			s := append([]int{n.AttrInt("size")}, x.shape[1:]...)
+			changed = m.setX(n, 0, typeInfo{dt: x.dt, dtOK: x.dtOK, shape: s, rankOK: true}) || changed
+		}
+	case "ExpandDims":
+		x := m.xin(n, 0)
+		axis := n.AttrInt("axis")
+		if x.rankOK {
+			if axis < 0 {
+				axis += len(x.shape) + 1
+			}
+			if axis >= 0 && axis <= len(x.shape) {
+				s := append([]int(nil), x.shape[:axis]...)
+				s = append(s, 1)
+				s = append(s, x.shape[axis:]...)
+				changed = m.setX(n, 0, typeInfo{dt: x.dt, dtOK: x.dtOK, shape: s, rankOK: true}) || changed
+			}
+		}
+	case "OneHot":
+		ix := m.xin(n, 0)
+		if ix.rankOK {
+			s := append(append([]int(nil), ix.shape...), n.AttrInt("depth"))
+			changed = m.setX(n, 0, typeInfo{dt: tensor.Float, dtOK: true, shape: s, rankOK: true}) || changed
+		}
+	case "SumGrad":
+		// SumGrad(g, shape): broadcast g back to the pre-reduction shape.
+		if s, ok := m.shapeVal[inOutput(n, 1)]; ok {
+			t := typeInfo{shape: append([]int(nil), s...), rankOK: true}
+			if g := m.xin(n, 0); g.dtOK {
+				t.dt, t.dtOK = g.dt, true
+			}
+			changed = m.setX(n, 0, t) || changed
+		}
+	case "GatherGrad":
+		// GatherGrad(ix, g, shape): scatter into a zero tensor of shape.
+		if s, ok := m.shapeVal[inOutput(n, 2)]; ok {
+			t := typeInfo{shape: append([]int(nil), s...), rankOK: true}
+			if g := m.xin(n, 1); g.dtOK {
+				t.dt, t.dtOK = g.dt, true
+			}
+			changed = m.setX(n, 0, t) || changed
+		}
+	case "SliceAxisGrad", "SliceRowsGrad", "TileGrad":
+		// Zeros shaped like x (input 1) with the gradient slab filled in.
+		changed = m.passthrough(n, 1, 0) || changed
+	case "ShapeDim":
+		changed = m.setX(n, 0, scalarOf(tensor.Int)) || changed
+		if x := m.xin(n, 0); x.rankOK {
+			a := n.AttrInt("axis")
+			if a < 0 {
+				a += len(x.shape)
+			}
+			if a >= 0 && a < len(x.shape) && x.shape[a] >= 0 {
+				changed = m.setConst(n, 0, int64(x.shape[a])) || changed
+			}
+		}
+	case "SliceAxis":
+		// SliceAxis(x, begin, size) attr axis: extent known only when the
+		// size operand is a propagated constant.
+		x := m.xin(n, 0)
+		axis := n.AttrInt("axis")
+		if x.rankOK {
+			if axis < 0 {
+				axis += len(x.shape)
+			}
+			if axis >= 0 && axis < len(x.shape) {
+				s := append([]int(nil), x.shape...)
+				if v, ok := m.constInt[inOutput(n, 2)]; ok {
+					s[axis] = int(v)
+				} else {
+					s[axis] = -1
+				}
+				changed = m.setX(n, 0, typeInfo{dt: x.dt, dtOK: x.dtOK, shape: s, rankOK: true}) || changed
+			}
+		}
+	case "VarRead":
+		if t, ok := m.varShape[n.AttrString("var")]; ok {
+			changed = m.setX(n, 0, t) || changed
+		}
+	case "Assign", "AssignAdd", "AssignSub", "ApplyGradientDescent":
+		// All echo the variable's (post-write) value.
+		if t, ok := m.varShape[n.AttrString("var")]; ok {
+			changed = m.setX(n, 0, t) || changed
+		} else {
+			changed = m.passthrough(n, 0, 0) || changed
+		}
+	case "TensorArray":
+		id := "ta/" + n.Name()
+		ta := m.ta(id, n)
+		changed = m.setRes(n, 0, id) || changed
+		changed = m.setX(n, 1, scalarFloat) || changed
+		if v, ok := m.constInt[inOutput(n, 0)]; ok && v > 0 && ta.count < 0 {
+			ta.count = v
+			changed = true
+		}
+	case "TensorArrayGrad":
+		if fwd := m.resOf[inOutput(n, 0)]; fwd != "" {
+			id := fwd + "@grad/" + n.AttrString("source")
+			g := m.ta(id, n)
+			if f := m.tas[fwd]; f != nil {
+				if f.count >= 0 && g.count < 0 {
+					g.count = f.count
+					changed = true
+				}
+				changed = g.joinTAElem(f.elem) || changed
+			}
+			changed = m.setRes(n, 0, id) || changed
+		}
+		changed = m.setX(n, 1, scalarFloat) || changed
+	case "TensorArrayWrite":
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			ta := m.ta(id, n)
+			changed = ta.joinTAElem(m.xin(n, 2)) || changed
+		}
+		changed = m.setX(n, 0, scalarFloat) || changed
+	case "TensorArrayUnstack":
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			ta := m.ta(id, n)
+			v := m.xin(n, 1)
+			if v.rankOK && len(v.shape) >= 1 {
+				if v.shape[0] >= 0 && ta.count < 0 {
+					ta.count = int64(v.shape[0])
+					changed = true
+				}
+				changed = ta.joinTAElem(typeInfo{dt: v.dt, dtOK: v.dtOK, rankOK: true,
+					shape: append([]int(nil), v.shape[1:]...)}) || changed
+			}
+		}
+		changed = m.setX(n, 0, scalarFloat) || changed
+	case "TensorArrayRead":
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			if ta := m.tas[id]; ta != nil && ta.elem.rankOK {
+				changed = m.setX(n, 0, ta.elem) || changed
+			}
+		}
+	case "TensorArrayStack":
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			if ta := m.tas[id]; ta != nil && ta.elem.rankOK {
+				count := -1
+				if ta.count >= 0 {
+					count = int(ta.count)
+				}
+				t := typeInfo{dt: ta.elem.dt, dtOK: ta.elem.dtOK, rankOK: true,
+					shape: append([]int{count}, ta.elem.shape...)}
+				changed = m.setX(n, 0, t) || changed
+			}
+		}
+	case "TensorArraySize":
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			if ta := m.tas[id]; ta != nil && ta.count >= 0 {
+				changed = m.setConst(n, 0, ta.count) || changed
+			}
+		}
+		changed = m.setX(n, 0, scalarOf(tensor.Int)) || changed
+	case "Stack":
+		changed = m.setRes(n, 0, "stack/"+n.Name()) || changed
+	case "StackPush":
+		changed = m.passthrough(n, 1, 0) || changed
+		changed = m.setX(n, 1, scalarOf(tensor.Int)) || changed
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			v := m.xin(n, 1)
+			if v.rankOK {
+				if prev := m.stacks[id]; prev == nil {
+					cp := v
+					m.stacks[id] = &cp
+					changed = true
+				} else if j, ok := join(*prev, v); ok && !sameShape(j.shape, prev.shape) {
+					*prev = j
+					changed = true
+				}
+			}
+		}
+	case "StackPop":
+		if id := m.resOf[inOutput(n, 0)]; id != "" {
+			if t := m.stacks[id]; t != nil {
+				changed = m.setX(n, 0, *t) || changed
+			}
+		}
+		changed = m.setX(n, 1, scalarOf(tensor.Int)) || changed
+	default:
+		// Re-run the standard rule with refined inputs, quietly: swap the
+		// refined map in, infer, swap back. The standard rules are pure
+		// functions of the input types, so this is a plain fixpoint step.
+		changed = m.reinferStandard(n) || changed
+	}
+	// Propagate constants and shape vectors through value-preserving ops.
+	switch op {
+	case "Identity", "StopGradient", "Enter", "Exit", "NextIteration":
+		changed = m.propagateVals(n, 0, 0) || changed
+	case "Switch":
+		changed = m.propagateVals(n, 0, 0) || changed
+		changed = m.propagateVals(n, 0, 1) || changed
+	}
+	return changed
+}
+
+// passthrough copies the refined type of input i to output port.
+func (m *memAnalyzer) passthrough(n *graph.Node, i, port int) bool {
+	t := m.xin(n, i)
+	if !t.rankOK && !t.dtOK {
+		return false
+	}
+	return m.setX(n, port, t)
+}
+
+// propagateVals forwards constInt/shapeVal/resOf from input i to output
+// port for ops that forward their value unchanged.
+func (m *memAnalyzer) propagateVals(n *graph.Node, i, port int) bool {
+	in := inOutput(n, i)
+	changed := false
+	if v, ok := m.constInt[in]; ok {
+		changed = m.setConst(n, port, v) || changed
+	}
+	if s, ok := m.shapeVal[in]; ok {
+		changed = m.setShapeVal(n, port, s) || changed
+	}
+	if id := m.resOf[in]; id != "" {
+		changed = m.setRes(n, port, id) || changed
+	}
+	return changed
+}
+
+// passthroughJoin handles Merge: arms that agree propagate their resource
+// identity (a loop-carried tensor-array handle) and joined type.
+func (m *memAnalyzer) passthroughJoin(n *graph.Node) bool {
+	ins := n.InputsRef()
+	if len(ins) == 0 {
+		return false
+	}
+	changed := false
+	id := m.resOf[ins[0]]
+	agree := id != ""
+	for _, in := range ins[1:] {
+		other := m.resOf[in]
+		// A not-yet-resolved arm (back edge on the first rounds) does not
+		// veto; a resolved, different resource does.
+		if other != "" && other != id {
+			agree = false
+		}
+	}
+	if agree {
+		changed = m.setRes(n, 0, id) || changed
+	}
+	acc := m.xt[ins[0]]
+	okAll := acc.rankOK
+	for _, in := range ins[1:] {
+		next := m.xt[in]
+		if !next.rankOK {
+			continue // back edge not resolved yet; join what we have
+		}
+		if j, ok := join(acc, next); ok {
+			acc = j
+		} else {
+			okAll = false
+		}
+	}
+	if okAll && acc.rankOK {
+		changed = m.setX(n, 0, acc) || changed
+	}
+	return changed
+}
+
+// inferReshape resolves the static or constant-propagated target shape,
+// filling a single -1 from the input's total size when known.
+func (m *memAnalyzer) inferReshape(n *graph.Node) bool {
+	var target []int
+	if s, ok := n.Attr("shape").([]int); ok && len(n.InputsRef()) == 1 {
+		target = append([]int(nil), s...)
+	} else if s, ok := m.shapeVal[inOutput(n, 1)]; ok {
+		target = append([]int(nil), s...)
+	} else {
+		return false
+	}
+	in := m.xin(n, 0)
+	wild := -1
+	for i, d := range target {
+		if d < 0 {
+			if wild >= 0 {
+				return false // two unknowns: unresolvable
+			}
+			wild = i
+		}
+	}
+	if wild >= 0 && dimsKnown(in) {
+		total, rest := 1, 1
+		for _, d := range in.shape {
+			total *= d
+		}
+		for i, d := range target {
+			if i != wild {
+				rest *= d
+			}
+		}
+		if rest > 0 && total%rest == 0 {
+			target[wild] = total / rest
+		}
+	}
+	t := typeInfo{shape: target, rankOK: true}
+	if in.dtOK {
+		t.dt, t.dtOK = in.dt, true
+	}
+	return m.setX(n, 0, t)
+}
+
+// inferConcat sums the concat axis over known input shapes.
+func (m *memAnalyzer) inferConcat(n *graph.Node) bool {
+	ins := n.InputsRef()
+	if len(ins) == 0 {
+		return false
+	}
+	axis := n.AttrInt("axis")
+	first := m.xt[ins[0]]
+	if !first.rankOK || axis < 0 || axis >= len(first.shape) {
+		return false
+	}
+	out := append([]int(nil), first.shape...)
+	sum := first.shape[axis]
+	for _, in := range ins[1:] {
+		t := m.xt[in]
+		if !t.rankOK || len(t.shape) != len(out) {
+			return false
+		}
+		for i, d := range t.shape {
+			if i == axis {
+				if sum >= 0 && d >= 0 {
+					sum += d
+				} else {
+					sum = -1
+				}
+				continue
+			}
+			if out[i] != d {
+				out[i] = -1
+			}
+		}
+	}
+	out[axis] = sum
+	ti := typeInfo{shape: out, rankOK: true, dt: first.dt, dtOK: first.dtOK}
+	return m.setX(n, 0, ti)
+}
+
+// reinferStandard runs the verifier's standard per-op rule against the
+// refined type map (diagnostics are discarded — the blocking Check run
+// already reported them against the unrefined types).
+func (m *memAnalyzer) reinferStandard(n *graph.Node) bool {
+	c := m.c
+	olds := make([]typeInfo, n.NumOutputs())
+	for port := range olds {
+		olds[port] = m.xt[graph.Output{Node: n, Index: port}]
+	}
+	savedTypes, savedDiags := c.types, c.diags
+	c.types = m.xt
+	c.inferNode(n)
+	c.types, c.diags = savedTypes, savedDiags
+	for port := range olds {
+		nt := m.xt[graph.Output{Node: n, Index: port}]
+		if nt.rankOK != olds[port].rankOK || nt.dtOK != olds[port].dtOK || !sameShape(nt.shape, olds[port].shape) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small dense bitset ---------------------------------------------------
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) or(o bitset) {
+	for i := range o {
+		b[i] |= o[i]
+	}
+}

@@ -1,0 +1,191 @@
+package verify_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/verify"
+)
+
+func estimate(t *testing.T, g *graph.Graph, opts verify.MemOptions) *verify.MemEstimate {
+	t.Helper()
+	est, ds := verify.EstimateMemory(g, opts)
+	if est == nil {
+		t.Fatalf("no estimate: %v", ds.Err())
+	}
+	return est
+}
+
+// A straight chain: [4,4] const -> Square -> Sum. The peak is at Square,
+// where both the const's output (being consumed) and Square's own output
+// (being produced) are resident: 2 x 128 B.
+func TestEstimateMemoryLinearChain(t *testing.T) {
+	b := newGB(t)
+	c := b.constF("c", make([]float64, 16), 4, 4)
+	sq := b.node("Square", "sq", 1, nil, c.Out(0))
+	b.node("Sum", "sum", 1, nil, sq.Out(0))
+
+	est := estimate(t, b.g, verify.MemOptions{})
+	if est.FixedBytes != 256 {
+		t.Fatalf("peak = %d, want 256 (%+v)", est.FixedBytes, est.Nodes)
+	}
+	if !est.Finite() {
+		t.Fatalf("fully static chain should be finite: %s", est)
+	}
+	if est.PeakOp != "Square" {
+		t.Fatalf("peak at %s (%s), want the Square node", est.PeakNode, est.PeakOp)
+	}
+}
+
+// Fetching an early output pins it to the end of the step: the const's
+// 128 B must stay resident at Sum, raising Sum's residency.
+func TestEstimateMemoryFetchPinned(t *testing.T) {
+	b := newGB(t)
+	c := b.constF("c", make([]float64, 16), 4, 4)
+	sq := b.node("Square", "sq", 1, nil, c.Out(0))
+	sum := b.node("Sum", "sum", 1, nil, sq.Out(0))
+
+	base := estimate(t, b.g, verify.MemOptions{})
+	pinned := estimate(t, b.g, verify.MemOptions{
+		Check: verify.Options{Fetches: []graph.Output{c.Out(0), sum.Out(0)}},
+	})
+	if pinned.FixedBytes <= base.FixedBytes {
+		t.Fatalf("fetch-pinned peak %d should exceed base peak %d", pinned.FixedBytes, base.FixedBytes)
+	}
+}
+
+// An unknown (batch) dimension becomes a symbolic per-row coefficient:
+// Placeholder [-1,4] -> Square has 32 B/row live for each of the two
+// values at the peak, and Bound resolves rows.
+func TestEstimateMemoryPerRow(t *testing.T) {
+	b := newGB(t)
+	ph := b.node("Placeholder", "x", 1, map[string]any{
+		"dtype": int(tensor.Float), "shape": []int{-1, 4},
+	})
+	b.node("Square", "sq", 1, nil, ph.Out(0))
+
+	est := estimate(t, b.g, verify.MemOptions{})
+	if est.Finite() {
+		t.Fatalf("unknown dim must yield a symbolic bound: %s", est)
+	}
+	if est.PerRowBytes != 64 {
+		t.Fatalf("per-row = %d, want 64 (%s)", est.PerRowBytes, est)
+	}
+	if got := est.Bound(10, 0); got != est.FixedBytes+640 {
+		t.Fatalf("Bound(10,0) = %d, want fixed+640", got)
+	}
+}
+
+// buildLoop wires the canonical while-loop skeleton around a scalar float:
+// Enter -> Merge -> [pred] -> Switch -> (NextIteration | Exit).
+func buildLoop(t *testing.T, parallel int) *graph.Graph {
+	b := newGB(t)
+	init := b.constF("init", []float64{0})
+	attrs := map[string]any{"frame_name": "f"}
+	if parallel > 0 {
+		attrs["parallel_iterations"] = parallel
+	}
+	enter := b.node("Enter", "enter", 1, attrs, init.Out(0))
+	merge := b.node("Merge", "merge", 1, nil, enter.Out(0), enter.Out(0))
+	limit := b.constF("limit", []float64{8})
+	pred := b.node("Less", "pred", 1, nil, merge.Out(0), limit.Out(0))
+	lc := b.node("LoopCond", "lc", 1, nil, pred.Out(0))
+	sw := b.node("Switch", "sw", 2, nil, merge.Out(0), lc.Out(0))
+	one := b.constF("one", []float64{1})
+	add := b.node("Add", "add", 1, nil, sw.Out(1), one.Out(0))
+	ni := b.node("NextIteration", "ni", 1, nil, add.Out(0))
+	merge.ReplaceInput(1, ni.Out(0))
+	b.node("Exit", "exit", 1, nil, sw.Out(0))
+	return b.g
+}
+
+// The frame's iteration window multiplies in-frame residency: the same
+// loop with parallel_iterations=4 must bound strictly higher than with a
+// window of 1, and the Enter's attribute must override the default.
+func TestEstimateMemoryLoopWindow(t *testing.T) {
+	serial := estimate(t, buildLoop(t, 0), verify.MemOptions{DefaultWindow: 1})
+	wide := estimate(t, buildLoop(t, 4), verify.MemOptions{DefaultWindow: 1})
+	if wide.FixedBytes <= serial.FixedBytes {
+		t.Fatalf("window-4 peak %d should exceed window-1 peak %d", wide.FixedBytes, serial.FixedBytes)
+	}
+	var window int
+	for _, nm := range wide.Nodes {
+		if nm.Op == "Merge" {
+			window = nm.Window
+		}
+	}
+	if window != 4 {
+		t.Fatalf("in-frame window = %d, want 4 from parallel_iterations", window)
+	}
+}
+
+// Tensor-array element storage is step-resident: size 4 of [2,2] float
+// elements is 4*4*8 = 128 B on top of every node's transient residency.
+func TestEstimateMemoryTensorArray(t *testing.T) {
+	b := newGB(t)
+	size := b.constI("size", 4)
+	ta := b.node("TensorArray", "ta", 2, nil, size.Out(0))
+	ix := b.constI("ix", 0)
+	val := b.constF("val", make([]float64, 4), 2, 2)
+	b.node("TensorArrayWrite", "w", 1, nil, ta.Out(0), ix.Out(0), val.Out(0), ta.Out(1))
+
+	est := estimate(t, b.g, verify.MemOptions{})
+	if est.StepBytes != 128 {
+		t.Fatalf("step-resident = %d, want 128 (%s)", est.StepBytes, est)
+	}
+}
+
+// Partition estimation bounds each worker's slice independently.
+func TestEstimateMemoryPartitions(t *testing.T) {
+	b := newGB(t)
+	bigC := b.constF("big", make([]float64, 64), 8, 8)
+	bigSq := b.node("Square", "bigsq", 1, nil, bigC.Out(0))
+	smallC := b.constF("small", make([]float64, 4), 2, 2)
+	smallSq := b.node("Square", "smallsq", 1, nil, smallC.Out(0))
+
+	parts := map[string][]*graph.Node{
+		"w1": {bigC, bigSq},
+		"w2": {smallC, smallSq},
+	}
+	ests := verify.EstimateMemoryPartitions(b.g, parts, verify.MemOptions{})
+	if ests["w1"] == nil || ests["w2"] == nil {
+		t.Fatalf("missing partition estimate: %v", ests)
+	}
+	if ests["w1"].FixedBytes != 1024 || ests["w2"].FixedBytes != 64 {
+		t.Fatalf("partition peaks = %d/%d, want 1024/64",
+			ests["w1"].FixedBytes, ests["w2"].FixedBytes)
+	}
+}
+
+// Diagnostics come back sorted by (node, port, code) regardless of the
+// order the passes discovered them — pinned so CI failures diff cleanly.
+func TestDiagnosticsDeterministicOrder(t *testing.T) {
+	b := newGB(t)
+	// Two unknown ops with names in reverse discovery order, plus an
+	// arity violation, produce diagnostics from different passes.
+	zzz := b.node("NoSuchOpZ", "zzz", 1, nil)
+	b.node("NoSuchOpA", "aaa", 1, nil)
+	b.node("Add", "add", 1, nil, zzz.Out(0)) // input-arity: Add wants 2
+
+	ds := verify.Check(b.g, verify.Options{})
+	if len(ds) < 3 {
+		t.Fatalf("want >= 3 diagnostics, got %v", ds)
+	}
+	if !sort.SliceIsSorted(ds, func(i, j int) bool {
+		a, c := ds[i], ds[j]
+		if a.Node != c.Node {
+			return a.Node < c.Node
+		}
+		if a.Port != c.Port {
+			return a.Port < c.Port
+		}
+		return a.Code <= c.Code
+	}) {
+		t.Fatalf("diagnostics not sorted by (node, port, code): %v", ds)
+	}
+	if ds[0].Node != "aaa" {
+		t.Fatalf("first diagnostic is %q, want node aaa", ds[0].Node)
+	}
+}

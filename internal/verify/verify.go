@@ -31,6 +31,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/graph"
@@ -138,7 +139,28 @@ func Check(g *graph.Graph, opts Options) Diagnostics {
 	c.inferTypes()
 	c.checkSignature()
 	c.checkSendRecv()
+	sortDiags(c.diags)
 	return c.diags
+}
+
+// sortDiags pins the diagnostic order to (node, port, code, message) so
+// repeated runs — and CI failure diffs — are stable regardless of pass
+// order or map iteration. The sort is stable, so diagnostics that tie on
+// every key keep their discovery order.
+func sortDiags(ds Diagnostics) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
 }
 
 // checker carries the state of one Check run.
